@@ -1,0 +1,393 @@
+package cloudgraph
+
+// One benchmark per paper artifact (see DESIGN.md's per-experiment index)
+// plus ablation benches for the design choices it calls out. Fixtures are
+// generated once per process at reduced scale so `go test -bench=.` stays
+// laptop-friendly; cmd/experiments regenerates the full-scale numbers.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/heatmap"
+	"cloudgraph/internal/ingest"
+	"cloudgraph/internal/matrix"
+	"cloudgraph/internal/nicsim"
+	"cloudgraph/internal/policy"
+	"cloudgraph/internal/segment"
+	"cloudgraph/internal/summarize"
+	"net/netip"
+)
+
+var benchStart = time.Unix(1700000000, 0).UTC().Truncate(time.Hour)
+
+type fixture struct {
+	cluster *cluster.Cluster
+	records []flowlog.Record
+	graph   *graph.Graph
+}
+
+var (
+	fixOnce sync.Once
+	fixK8s  fixture // K8s PaaS at scale 0.25
+	fixUSvc fixture // µserviceBench at scale 0.1
+)
+
+func loadFixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		mk := func(preset string, scale float64) fixture {
+			spec, err := cluster.Preset(preset, scale)
+			if err != nil {
+				panic(err)
+			}
+			c, err := cluster.New(spec)
+			if err != nil {
+				panic(err)
+			}
+			recs, err := c.CollectHour(benchStart)
+			if err != nil {
+				panic(err)
+			}
+			g := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIP})
+			if spec.CollapseThreshold > 0 {
+				g = g.Collapse(graph.CollapseOptions{
+					Threshold: spec.CollapseThreshold,
+					Keep:      func(n graph.Node) bool { return c.Monitored(n.Addr) },
+				})
+			}
+			return fixture{cluster: c, records: recs, graph: g}
+		}
+		fixK8s = mk("k8spaas", 0.25)
+		fixUSvc = mk("microservicebench", 0.1)
+	})
+}
+
+// --- Table 1: graph construction from raw telemetry -----------------------
+
+func BenchmarkTable1GraphConstruction(b *testing.B) {
+	loadFixtures(b)
+	recs := fixK8s.records
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIP})
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+	b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkFacetIPPort(b *testing.B) {
+	loadFixtures(b)
+	recs := fixUSvc.records
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIPPort})
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// --- Table 3: provider sampling -------------------------------------------
+
+func BenchmarkTable3Sampling(b *testing.B) {
+	loadFixtures(b)
+	s := flowlog.NewSampler(flowlog.GCP, 42)
+	recs := fixUSvc.records
+	b.ResetTimer()
+	kept := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Sample(recs[i%len(recs)]); ok {
+			kept++
+		}
+	}
+	if b.N > 1000 && (kept == 0 || kept == b.N) {
+		b.Fatalf("sampler kept %d of %d", kept, b.N)
+	}
+}
+
+// --- Figures 1 and 3: segmentation strategies ------------------------------
+
+func benchSegment(b *testing.B, s segment.Strategy) {
+	loadFixtures(b)
+	g := fixK8s.graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := segment.Run(s, g, segment.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1Segmentation(b *testing.B)     { benchSegment(b, segment.StrategyJaccardLouvain) }
+func BenchmarkFig3SimRank(b *testing.B)          { benchSegment(b, segment.StrategySimRank) }
+func BenchmarkFig3SimRankPP(b *testing.B)        { benchSegment(b, segment.StrategySimRankPP) }
+func BenchmarkFig3ModularityConn(b *testing.B)   { benchSegment(b, segment.StrategyModularityConn) }
+func BenchmarkFig3ModularityBytes(b *testing.B)  { benchSegment(b, segment.StrategyModularityBytes) }
+
+// --- Figures 4/5: adjacency matrices, heatmaps and drift -------------------
+
+func BenchmarkFig4Heatmap(b *testing.B) {
+	loadFixtures(b)
+	adj := fixK8s.graph.AdjacencyMatrix(graph.Bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := heatmap.ASCII(adj.M, adj.N, 64); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkFig5Diff(b *testing.B) {
+	loadFixtures(b)
+	g := fixK8s.graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := graph.Diff(g, g)
+		if d.ByteChange != 0 {
+			b.Fatal("self diff nonzero")
+		}
+	}
+}
+
+// --- Figure 6: CCDF ---------------------------------------------------------
+
+func BenchmarkFig6CCDF(b *testing.B) {
+	loadFixtures(b)
+	g := fixK8s.graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := summarize.CCDF(g, graph.Bytes); len(pts) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+// --- §2.2: PCA reconstruction ----------------------------------------------
+
+func BenchmarkPCAReconstruction(b *testing.B) {
+	loadFixtures(b)
+	adj := fixK8s.graph.AdjacencyMatrix(graph.Bytes)
+	p, err := matrix.NewPCA(adj.Symmetrized(), adj.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.ReconErr(25)
+	}
+}
+
+func BenchmarkPCADecompose(b *testing.B) {
+	loadFixtures(b)
+	adj := fixK8s.graph.AdjacencyMatrix(graph.Bytes)
+	sym := adj.Symmetrized()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.NewPCA(sym, adj.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: NIC flow table ------------------------------------------------
+
+func BenchmarkNICFlowTable(b *testing.B) {
+	v := nicsim.NewVNIC(netip.MustParseAddr("10.0.0.1"), 4*time.Minute)
+	remote := netip.AddrPortFrom(netip.MustParseAddr("203.0.113.1"), 443)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Observe(uint16(30000+i%1000), remote, 1, 1, 1460, 60, benchStart)
+	}
+}
+
+func BenchmarkNICHostPull(b *testing.B) {
+	h := nicsim.NewHost(4 * time.Minute)
+	for vm := 0; vm < 16; vm++ {
+		v := h.PlaceVM(netip.AddrFrom4([4]byte{10, 0, 0, byte(vm + 1)}))
+		for f := 0; f < 200; f++ {
+			v.Observe(uint16(30000+f), netip.AddrPortFrom(netip.MustParseAddr("203.0.113.1"), 443), 1, 1, 100, 100, benchStart)
+		}
+	}
+	sink := nicsim.CollectorFunc(func([]flowlog.Record) error { return nil })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Pull(benchStart, sink); err != nil {
+			b.Fatal(err)
+		}
+		// Re-touch one flow per VM so subsequent pulls emit records.
+		for _, addr := range h.VMs() {
+			h.VNIC(addr).Observe(30000, netip.AddrPortFrom(netip.MustParseAddr("203.0.113.1"), 443), 1, 1, 100, 100, benchStart)
+		}
+	}
+}
+
+// --- Figure 8: analytics ingest throughput -----------------------------------
+
+func benchPipeline(b *testing.B, workers, batch int) {
+	loadFixtures(b)
+	recs := fixK8s.records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ingest.NewPipeline(workers, graph.BuilderOptions{Facet: graph.FacetIP})
+		for off := 0; off < len(recs); off += batch {
+			end := off + batch
+			if end > len(recs) {
+				end = len(recs)
+			}
+			p.Ingest(recs[off:end])
+		}
+		g, _ := p.Close()
+		if g.NumNodes() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+	b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkAnalyticsIngest1Worker(b *testing.B)  { benchPipeline(b, 1, 8192) }
+func BenchmarkAnalyticsIngest4Workers(b *testing.B) { benchPipeline(b, 4, 8192) }
+
+// --- §2.1 rules: policy compilation -------------------------------------------
+
+func BenchmarkPolicyCompile(b *testing.B) {
+	loadFixtures(b)
+	g := fixK8s.graph
+	assign, err := segment.Run(segment.StrategyJaccardLouvain, g, segment.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := policy.Learn(g, assign)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := r.CompileIPRules(1000)
+		tags := r.CompileTagRules(1000)
+		if ip.Total == 0 || tags.Total == 0 {
+			b.Fatal("empty compilation")
+		}
+	}
+}
+
+// --- §2.1 higher-order policies -------------------------------------------------
+
+func BenchmarkMonitorEvaluate(b *testing.B) {
+	loadFixtures(b)
+	g := fixK8s.graph
+	assign, err := segment.Run(segment.StrategyJaccardLouvain, g, segment.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := policy.Learn(g, assign)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.SimilarityPolicy{R: r}.Evaluate(g)
+		policy.ProportionalityPolicy{R: r}.Evaluate(g, g)
+	}
+}
+
+// --- Ablations (DESIGN.md) ------------------------------------------------------
+
+// BenchmarkAblationCollapse sweeps the heavy-hitter threshold: collapse
+// cost and resulting graph size trade off against completeness.
+func BenchmarkAblationCollapse(b *testing.B) {
+	loadFixtures(b)
+	full := graph.Build(fixK8s.records, graph.BuilderOptions{Facet: graph.FacetIP})
+	for _, th := range []float64{0.0001, 0.001, 0.01} {
+		b.Run(thName(th), func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				c := full.Collapse(graph.CollapseOptions{Threshold: th})
+				nodes = c.NumNodes()
+			}
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+func thName(th float64) string {
+	switch th {
+	case 0.0001:
+		return "threshold=0.01pct"
+	case 0.001:
+		return "threshold=0.1pct"
+	default:
+		return "threshold=1pct"
+	}
+}
+
+// BenchmarkAblationMinhash compares exact Jaccard scoring against the
+// MinHash sketch — the paper's open issue about super-quadratic cost.
+func BenchmarkAblationMinhash(b *testing.B) {
+	loadFixtures(b)
+	g := fixK8s.graph
+	b.Run("exact", func(b *testing.B) { benchSegmentOn(b, g, segment.StrategyJaccardLouvain) })
+	b.Run("minhash", func(b *testing.B) { benchSegmentOn(b, g, segment.StrategyMinHashLouvain) })
+}
+
+func benchSegmentOn(b *testing.B, g *graph.Graph, s segment.Strategy) {
+	for i := 0; i < b.N; i++ {
+		if _, err := segment.Run(s, g, segment.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBatch sweeps the ingest minibatch size.
+func BenchmarkAblationBatch(b *testing.B) {
+	for _, batch := range []int{256, 4096, 65536} {
+		b.Run(batchName(batch), func(b *testing.B) { benchPipeline(b, 4, batch) })
+	}
+}
+
+func batchName(n int) string {
+	switch n {
+	case 256:
+		return "batch=256"
+	case 4096:
+		return "batch=4k"
+	default:
+		return "batch=64k"
+	}
+}
+
+// BenchmarkAblationResolution sweeps the Louvain resolution parameter —
+// the knob for the paper's open question about segmentation granularity.
+func BenchmarkAblationResolution(b *testing.B) {
+	loadFixtures(b)
+	g := fixK8s.graph
+	for _, gamma := range []float64{0.5, 1, 2, 4} {
+		b.Run(gammaName(gamma), func(b *testing.B) {
+			var segs int
+			for i := 0; i < b.N; i++ {
+				a, err := segment.Run(segment.StrategyJaccardLouvain, g, segment.Options{Resolution: gamma})
+				if err != nil {
+					b.Fatal(err)
+				}
+				segs = a.NumSegments()
+			}
+			b.ReportMetric(float64(segs), "segments")
+		})
+	}
+}
+
+func gammaName(g float64) string {
+	switch g {
+	case 0.5:
+		return "gamma=0.5"
+	case 1:
+		return "gamma=1"
+	case 2:
+		return "gamma=2"
+	default:
+		return "gamma=4"
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/graph"
+)
+
+// diagK8s prints traffic-share stats for each external role of K8sPaaS, to
+// tune which endpoints survive the heavy-hitter collapse.
+func diagK8s() {
+	t0 := time.Unix(1700000000, 0).UTC().Truncate(time.Minute)
+	spec, _ := cluster.Preset("k8spaas", 1)
+	c, _ := cluster.New(spec)
+	recs, _ := c.CollectHour(t0)
+	g := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIP})
+	total := g.TotalTraffic()
+	for _, roleName := range []string{"cloud-store", "customer-api", "partner-feed"} {
+		var lo, hi, kept float64
+		lo = 1
+		n := 0
+		for _, a := range c.Addresses(roleName) {
+			node := graph.IPNode(a)
+			if !g.HasNode(node) {
+				continue
+			}
+			n++
+			share := float64(g.NodeStrength(node, graph.Bytes)) / float64(2*total.Bytes)
+			cshare := float64(g.NodeStrength(node, graph.Conns)) / float64(2*total.Conns)
+			pshare := float64(g.NodeStrength(node, graph.Packets)) / float64(2*total.Packets)
+			m := share
+			if cshare > m {
+				m = cshare
+			}
+			if pshare > m {
+				m = pshare
+			}
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+			if m >= 0.001 {
+				kept++
+			}
+		}
+		fmt.Printf("%-14s n=%d maxshare lo=%.5f hi=%.5f kept=%.0f\n", roleName, n, lo, hi, kept)
+	}
+}

@@ -1,0 +1,50 @@
+// Command calibrate reports hourly graph statistics for each dataset preset
+// against the Table 1 targets; used to tune the synthetic generators.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/graph"
+)
+
+func main() {
+	kqScale := flag.Float64("kquery-scale", 0.15, "scale for the KQuery dataset")
+	diag := flag.Bool("diag-k8s", false, "print external traffic-share diagnostics for K8sPaaS")
+	seg := flag.Float64("seg-k8s", 0, "run segmentation quality check on K8sPaaS at this scale")
+	flag.Parse()
+	if *diag {
+		diagK8s()
+		return
+	}
+	if *seg > 0 {
+		segK8s(*seg)
+		return
+	}
+	t0 := time.Unix(1700000000, 0).UTC().Truncate(time.Minute)
+	for _, tc := range []struct {
+		name  string
+		scale float64
+	}{{"portal", 1}, {"microservicebench", 1}, {"k8spaas", 1}, {"kquery", *kqScale}} {
+		spec, _ := cluster.Preset(tc.name, tc.scale)
+		c, err := cluster.New(spec)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		recs, err := c.CollectHour(t0)
+		if err != nil {
+			panic(err)
+		}
+		g := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIP})
+		if spec.CollapseThreshold > 0 {
+			g = g.Collapse(graph.CollapseOptions{Threshold: spec.CollapseThreshold, Keep: func(n graph.Node) bool { return c.Monitored(n.Addr) }})
+		}
+		s := g.ComputeStats()
+		fmt.Printf("%-20s scale=%.2f mon=%d nodes=%d edges=%d rec/min=%d gen=%.1fs\n",
+			tc.name, tc.scale, c.MonitoredIPs(), s.Nodes, s.Edges, len(recs)/60, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/segment"
+)
+
+// segK8s runs the Figure 1 / Figure 3 strategies on the K8sPaaS hourly
+// graph and reports quality vs ground truth.
+func segK8s(scale float64) {
+	t0 := time.Unix(1700000000, 0).UTC().Truncate(time.Minute)
+	spec, _ := cluster.Preset("k8spaas", scale)
+	c, _ := cluster.New(spec)
+	recs, _ := c.CollectHour(t0)
+	g := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIP})
+	if spec.CollapseThreshold > 0 {
+		g = g.Collapse(graph.CollapseOptions{Threshold: spec.CollapseThreshold, Keep: func(n graph.Node) bool { return c.Monitored(n.Addr) }})
+	}
+	truth := c.GroundTruth()
+	fmt.Printf("graph: %d nodes %d edges\n", g.NumNodes(), g.NumEdges())
+	for _, s := range []segment.Strategy{segment.StrategyJaccardLouvain, segment.StrategyMinHashLouvain, segment.StrategyModularityConn, segment.StrategyModularityBytes} {
+		start := time.Now()
+		a, err := segment.Run(s, g, segment.Options{})
+		if err != nil {
+			panic(err)
+		}
+		q := segment.Score(a, truth)
+		fmt.Printf("%-18s segs=%3d ARI=%.3f NMI=%.3f purity=%.3f in %.1fs\n", s, a.NumSegments(), q.ARI, q.NMI, q.Purity, time.Since(start).Seconds())
+	}
+}

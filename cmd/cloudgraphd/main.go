@@ -1,0 +1,81 @@
+// Command cloudgraphd runs the analytics service of Figure 8: a TCP
+// endpoint that ingests connection summaries (binary wire format via the
+// INGEST command) and answers queries — window stats, segmentation,
+// security monitoring — over the same line protocol.
+//
+// Usage:
+//
+//	cloudgraphd -addr 127.0.0.1:7443 -window 1h -collapse 0.001
+//
+// Then, e.g. from graphctl or any TCP client:
+//
+//	printf 'STATS\n' | nc 127.0.0.1 7443
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cloudgraph/internal/analytics"
+	"cloudgraph/internal/core"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cloudgraphd: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7443", "listen address")
+		window   = flag.Duration("window", time.Hour, "graph window size")
+		collapse = flag.Float64("collapse", 0, "heavy-hitter collapse threshold (0 disables; paper uses 0.001)")
+		facet    = flag.String("facet", "ip", "graph facet: ip or ip-port")
+		maxWin   = flag.Int("max-windows", 48, "retained window history (0 = unlimited)")
+		storeTo  = flag.String("store", "", "append completed windows to this store file (graphctl history reads it)")
+	)
+	flag.Parse()
+
+	cfg := core.Config{Window: *window, MaxWindows: *maxWin}
+	switch *facet {
+	case "ip":
+		cfg.Facet = graph.FacetIP
+	case "ip-port":
+		cfg.Facet = graph.FacetIPPort
+	default:
+		log.Fatalf("unknown facet %q", *facet)
+	}
+	if *collapse > 0 {
+		cfg.Collapse = graph.CollapseOptions{Threshold: *collapse}
+	}
+	if *storeTo != "" {
+		w, err := store.Create(*storeTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		cfg.OnWindow = func(g *graph.Graph) {
+			if err := w.Append(g); err != nil {
+				log.Printf("store append: %v", err)
+			}
+		}
+		log.Printf("persisting windows to %s", *storeTo)
+	}
+
+	srv, err := analytics.Serve(*addr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (window=%v facet=%s collapse=%g)", srv.Addr(), *window, *facet, *collapse)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/nicsim"
+	"cloudgraph/internal/policy"
+	"cloudgraph/internal/segment"
+)
+
+// expEnforce measures the headline security claim end to end: enforce the
+// learned µsegmentation on the data path and count how much of each attack
+// it stops versus how much legitimate traffic it wrongly blocks — the
+// "mitigate the blast radius" promise with its false-positive cost.
+func expEnforce(e *env) {
+	header("enforce", "Enforcing the learned policy: attack block rate vs collateral damage",
+		"A pair of resources can communicate only if explicitly allowed; the blast radius of breaching a resource reduces to those it must communicate with during normal operation.")
+
+	baseSpec, _ := cluster.Preset("microservicebench", 0.25)
+	c2 := netip.MustParseAddr("198.51.100.66")
+	scenarios := []struct {
+		name string
+		add  func(c *cluster.Cluster, at time.Time)
+	}{
+		{"port-scan", func(c *cluster.Cluster, at time.Time) {
+			c.AddAttack(cluster.PortScan{AttackerRole: "frontend", AttackerIdx: 0, TargetRole: "payment", PortsPerMin: 40, Start: at, Duration: time.Hour})
+		}},
+		{"lateral-movement", func(c *cluster.Cluster, at time.Time) {
+			c.AddAttack(cluster.LateralMovement{AttackerRole: "loadgen", AttackerIdx: 0, TargetRole: "redis", FlowsPerMin: 8, Bytes: 16_384, Start: at, Duration: time.Hour})
+		}},
+		{"exfiltration", func(c *cluster.Cluster, at time.Time) {
+			c.AddAttack(cluster.Exfiltration{SourceRole: "payment", SourceIdx: 0, Destination: c2, BytesPerMin: 200_000_000, Start: at, Duration: time.Hour})
+		}},
+		{"c2-beacon", func(c *cluster.Cluster, at time.Time) {
+			c.AddAttack(cluster.Beacon{SourceRole: "currency", SourceIdx: 0, C2: c2, Period: 5 * time.Minute, Bytes: 512, Start: at, Duration: time.Hour})
+		}},
+	}
+
+	fmt.Println("| attack | IP facet: attacks blocked | endpoint facet: attacks blocked | endpoint facet: legit blocked |")
+	fmt.Println("|---|---|---|---|")
+	for _, sc := range scenarios {
+		c, err := cluster.New(baseSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Learn on a clean hour.
+		cleanRecs, err := c.CollectHour(e.start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := graph.Build(cleanRecs, graph.BuilderOptions{Facet: graph.FacetIP})
+		assign, err := segment.Run(segment.StrategyJaccardLouvain, g, segment.Options{Resolution: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		enf := policy.Enforcer{R: policy.Learn(g, assign), AllowUnknownExternal: false}
+
+		// Endpoint-facet policy from the same clean hour: service sides
+		// keyed by {IP, port}; ephemeral client nodes collapse by IP.
+		ge := graph.Build(cleanRecs, graph.BuilderOptions{Facet: graph.FacetEndpoint})
+		assignE, err := segment.Run(segment.StrategyJaccardLouvain, ge, segment.Options{Resolution: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		enfE := policy.Enforcer{R: policy.Learn(ge, assignE), Facet: graph.FacetEndpoint}
+
+		// Attack hour.
+		attackStart := e.start.Add(time.Hour)
+		sc.add(c, attackStart)
+		var recs []flowlog.Record
+		if _, err := c.Run(attackStart, 60, nicsim.CollectorFunc(func(b []flowlog.Record) error {
+			recs = append(recs, b...)
+			return nil
+		})); err != nil {
+			log.Fatal(err)
+		}
+		rep := enf.Evaluate(recs, c.IsAttackRecord)
+		repE := enfE.Evaluate(recs, c.IsAttackRecord)
+		fmt.Printf("| %s | %.0f%% (%d of %d) | %.0f%% (%d of %d) | %.2f%% (%d of %d) |\n",
+			sc.name,
+			100*rep.BlockRate(), rep.AttackBlocked, rep.AttackBlocked+rep.AttackAllowed,
+			100*repE.BlockRate(), repE.AttackBlocked, repE.AttackBlocked+repE.AttackAllowed,
+			100*repE.CollateralRate(), repE.LegitBlocked, repE.LegitBlocked+repE.LegitAllowed)
+	}
+	fmt.Println("\nShape check: exfil/C2 destinations outside the learned graph block completely at either facet; the in-cluster scan and lateral movement pass IP-level enforcement (the kubelet mesh already connects every VM pair) but block at the endpoint facet, whose per-service reachability is what tags would enforce — the paper's case for finer-than-IP segmentation made quantitative.")
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/segment"
+)
+
+// expFacets demonstrates §2.1 concern (2): "Resources may have multiple
+// roles, for e.g., a VM may run multiple services. Thus, segmenting IP-port
+// graphs may be more useful but these graphs can be much larger than
+// IP-graphs." The endpoint facet keys service sides by {IP, port} without
+// the ephemeral explosion, separating co-located services.
+func expFacets(e *env) {
+	header("facets", "Multi-faceted graphs: separating co-located services",
+		"One communication trace can be represented as many graphs (IPs, services, {IP, port}); choosing which graph to construct requires networking insight. VMs running multiple services are indistinguishable at the IP facet.")
+
+	// A fleet where every web VM also hosts a metrics exporter with a
+	// completely different peer structure.
+	spec := cluster.Spec{
+		Name: "colo", Seed: 33,
+		Roles: []cluster.RoleSpec{
+			{Name: "web", Count: 12, Port: 443},
+			{Name: "metrics", ColocateWith: "web", Port: 9100},
+			{Name: "db", Count: 4, Port: 5432},
+			{Name: "scraper", Count: 3, Port: 9999},
+			{Name: "client", Count: 60, External: true},
+		},
+		Links: []cluster.LinkSpec{
+			{Src: "client", Dst: "web", FlowsPerMin: 12, Fanout: 3, FwdBytes: 700, RevBytes: 12_000},
+			{Src: "web", Dst: "db", FlowsPerMin: 25, Fanout: -1, FwdBytes: 900, RevBytes: 3_500},
+			{Src: "scraper", Dst: "metrics", FlowsPerMin: 20, Fanout: -1, FwdBytes: 200, RevBytes: 15_000},
+		},
+	}
+	c, err := cluster.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := c.CollectHour(e.start)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("| facet | nodes | edges | segments | web/metrics separated? | purity vs endpoint truth |")
+	fmt.Println("|---|---|---|---|---|---|")
+	web := c.Addresses("web")[0]
+	truth := c.GroundTruthEndpoints()
+	for _, facet := range []graph.Facet{graph.FacetIP, graph.FacetEndpoint, graph.FacetIPPort} {
+		g := graph.Build(recs, graph.BuilderOptions{Facet: facet})
+		sep := "n/a (one node per VM)"
+		purity := "—"
+		if facet != graph.FacetIPPort || g.NumNodes() < 20_000 {
+			assign, err := segment.Run(segment.StrategyJaccardLouvain, g, segment.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			n443 := graph.IPPortNode(web, 443)
+			n9100 := graph.IPPortNode(web, 9100)
+			if g.HasNode(n443) && g.HasNode(n9100) {
+				if assign[n443] != assign[n9100] {
+					sep = "yes"
+				} else {
+					sep = "no"
+				}
+			}
+			q := segment.Score(assign, truth)
+			if q.Nodes > 0 {
+				purity = fmt.Sprintf("%.2f", q.Purity)
+			}
+			fmt.Printf("| %s | %d | %d | %d | %s | %s |\n",
+				facet, g.NumNodes(), g.NumEdges(), assign.NumSegments(), sep, purity)
+			continue
+		}
+		fmt.Printf("| %s | %d | %d | (too large to segment) | — | — |\n", facet, g.NumNodes(), g.NumEdges())
+	}
+	fmt.Println("\nShape check: the IP facet cannot express the distinction (one node per VM); the endpoint facet separates web:443 from web:9100 at a fraction of the full IP-port graph's size — the practical middle ground the paper's concern calls for.")
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cloudgraph/internal/segment"
+)
+
+// expFig1 regenerates Figure 1: the K8s PaaS IP-graph with roles inferred
+// by Jaccard neighbor-overlap scoring + Louvain on the scored clique.
+func expFig1(e *env) {
+	header("fig1", "Role-inferred segmentation of the K8s PaaS IP-graph",
+		"Nodes that share a color have the same role and can be placed into a µsegment (Jaccard score on neighbor-set overlap, Louvain on the scored clique). Labels are 'a good start' but imperfect.")
+	c, _, g := hourly(e, "k8spaas", e.datasetScale("k8spaas"), e.start)
+	t := time.Now()
+	assign, err := segment.Run(segment.StrategyJaccardLouvain, g, segment.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t)
+	q := segment.Score(assign, c.GroundTruth())
+	fmt.Printf("- graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("- segments found: %d (true roles among monitored VMs: %d)\n", assign.NumSegments(), q.Roles)
+	fmt.Printf("- quality vs ground truth: ARI %.3f, NMI %.3f, purity %.3f over %d labelled nodes\n", q.ARI, q.NMI, q.Purity, q.Nodes)
+	fmt.Printf("- pairwise scoring + clustering time: %v (the super-quadratic cost the paper flags)\n", elapsed.Round(time.Millisecond))
+	dot := g.DOT(0, assign)
+	path := e.artifact("fig1-k8spaas-roles.dot")
+	if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("- role-colored graph written to %s\n", path)
+	fmt.Println("\nShape check: high purity (segments are role-pure) with coarser-than-truth granularity — matching the paper's 'good start with key mistakes'.")
+}
+
+// expFig2 regenerates Figure 2: the unsegmented IP-graphs of the datasets.
+func expFig2(e *env) {
+	header("fig2", "Unsegmented IP-graphs of the four datasets",
+		"Raw hourly IP-graphs, before any segmentation; their structure differs sharply across workloads.")
+	fmt.Println("| dataset | nodes | edges | density | max degree | mean degree |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, preset := range []string{"portal", "microservicebench", "k8spaas", "kquery"} {
+		_, _, g := hourly(e, preset, e.datasetScale(preset), e.start)
+		s := g.ComputeStats()
+		fmt.Printf("| %s | %d | %d | %.4f | %d | %.1f |\n", preset, s.Nodes, s.Edges, s.Density, s.MaxDeg, s.MeanDeg)
+		if s.Nodes <= 600 {
+			path := e.artifact("fig2-" + preset + ".dot")
+			if err := os.WriteFile(path, []byte(g.DOT(0, nil)), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("\nShape check: Portal is a sparse star field (clients->few frontends), µserviceBench is tiny and dense, K8s PaaS is mid-size with hubs, KQuery is the densest.")
+}
+
+// expFig3 regenerates Figure 3: the alternative segmentation strategies on
+// the K8s PaaS graph, scored against ground truth to quantify the visual
+// "the results clearly differ".
+func expFig3(e *env) {
+	header("fig3", "Alternative segmentation strategies on K8s PaaS",
+		"SimRank, SimRank++, connection-weighted and byte-weighted modularity all segment the same graph differently from Figure 1, because modularity groups who-talks-to-whom while role peers may never talk to each other.")
+	c, _, g := hourly(e, "k8spaas", e.datasetScale("k8spaas"), e.start)
+	truth := c.GroundTruth()
+	fmt.Println("| strategy | segments | ARI | NMI | purity | time |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, s := range segment.Strategies() {
+		t := time.Now()
+		assign, err := segment.Run(s, g, segment.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := segment.Score(assign, truth)
+		fmt.Printf("| %s | %d | %.3f | %.3f | %.3f | %v |\n",
+			s, assign.NumSegments(), q.ARI, q.NMI, q.Purity, time.Since(t).Round(time.Millisecond))
+	}
+	fmt.Println("\nShape check: jaccard-louvain (Figure 1's method) scores highest against ground-truth roles; the modularity variants score near zero ARI; SimRank/SimRank++ cost more without beating it — matching §2.1's conclusions.")
+}

@@ -1,0 +1,78 @@
+// Capacity-planning walkthrough (§2.3): turn connection summaries into
+// flow-size and inter-arrival distributions, find the communication
+// bottlenecks of the KQuery analytics cluster, model how flow completion
+// times degrade as hot nodes saturate, and print a concrete plan — SKU
+// upgrades and proximity groups.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec, err := cloudgraph.Preset("kquery", 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := cloudgraph.NewCluster(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC)
+	recs, err := cl.CollectHour(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := cloudgraph.BuildGraph(recs, cloudgraph.GraphOptions{})
+	fmt.Printf("KQuery hour: %d records, %d nodes, %d edges\n", len(recs), g.NumNodes(), g.NumEdges())
+
+	// Distributions, quantized to the one-minute summary frequency.
+	sizes := cloudgraph.FlowSizes(recs)
+	gaps := cloudgraph.InterArrivals(recs, time.Minute)
+	fmt.Printf("\nflow sizes:     p50 %.0f B, p90 %.0f B, p99 %.0f B (mean %.0f over %d flows)\n",
+		sizes.Quantile(0.5), sizes.Quantile(0.9), sizes.Quantile(0.99), sizes.Mean(), sizes.N())
+	fmt.Printf("inter-arrivals: p50 %.0fs, p99 %.0fs\n", gaps.Quantile(0.5), gaps.Quantile(0.99))
+
+	// What happens to flow completion times as a worker saturates?
+	fmt.Println("\nFCT model on a 10 Gbps (1.25 GB/s) VM NIC:")
+	for _, rho := range []float64{0.0, 0.5, 0.8, 0.95} {
+		m := cloudgraph.FCTModel{CapacityBps: 1.25e9, Rho: rho}
+		fcts := m.FCTQuantiles(sizes, []float64{0.5, 0.99})
+		fmt.Printf("  util %.0f%%: p50 FCT %v, p99 FCT %v (slowdown %.1fx)\n",
+			100*rho, fcts[0].Round(time.Microsecond), fcts[1].Round(time.Microsecond), m.Slowdown())
+	}
+
+	// Where to invest more capacity (Figure 6 made actionable).
+	pts := cloudgraph.CCDF(g, cloudgraph.Bytes)
+	fmt.Printf("\ntraffic concentration: top 1%% of nodes carry %.0f%% of bytes\n",
+		100*(1-ccdfAt(pts, 0.01)))
+
+	const perVMCapacity = 2e9 // bytes/min a current-SKU VM handles comfortably
+	plan := cloudgraph.PlanCapacity(g, perVMCapacity, 0.7, 5)
+	fmt.Printf("\nplan: %d SKU upgrade candidate(s)\n", len(plan.Upgrades))
+	for i, u := range plan.Upgrades {
+		if i == 5 {
+			fmt.Printf("  … and %d more\n", len(plan.Upgrades)-5)
+			break
+		}
+		fmt.Printf("  upgrade %-20s %.2f GB/min (%.0f%% of SKU)\n", u.Node, u.BytesPerMin/1e9, 100*u.Utilization)
+	}
+	fmt.Println("proximity-group candidates (co-locate to cut cross-zone bytes):")
+	for _, e := range plan.Proximity {
+		fmt.Printf("  %-20s <-> %-20s %.2f GB/hr\n", e.A, e.B, float64(e.Bytes)/1e9)
+	}
+}
+
+func ccdfAt(pts []cloudgraph.CCDFPoint, frac float64) float64 {
+	for _, p := range pts {
+		if p.Fraction >= frac {
+			return p.CCDF
+		}
+	}
+	return 0
+}

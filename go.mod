@@ -1,0 +1,3 @@
+module cloudgraph
+
+go 1.22

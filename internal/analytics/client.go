@@ -1,0 +1,149 @@
+package analytics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+)
+
+// Client speaks the analytics protocol. It is not safe for concurrent use;
+// open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 256<<10),
+	}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintf(c.w, "QUIT\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// readLine reads one response line, translating ERR responses to errors.
+func (c *Client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return "", fmt.Errorf("analytics: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	return line, nil
+}
+
+// Ingest streams a batch of records.
+func (c *Client) Ingest(recs []flowlog.Record) error {
+	fmt.Fprintf(c.w, "INGEST %d\n", len(recs))
+	buf := make([]byte, 0, flowlog.WireSize)
+	for _, r := range recs {
+		buf = flowlog.AppendBinary(buf[:0], r)
+		if _, err := c.w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	var n int
+	if _, err := fmt.Sscanf(line, "OK %d", &n); err != nil || n != len(recs) {
+		return fmt.Errorf("analytics: unexpected ingest response %q", line)
+	}
+	return nil
+}
+
+// Flush closes open windows server-side and returns the window count.
+func (c *Client) Flush() (int, error) {
+	fmt.Fprintf(c.w, "FLUSH\n")
+	c.w.Flush()
+	line, err := c.readLine()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimPrefix(line, "OK "))
+}
+
+// jsonCmd sends a command and decodes the JSON line response into out.
+func (c *Client) jsonCmd(cmd string, out any) error {
+	fmt.Fprintf(c.w, "%s\n", cmd)
+	c.w.Flush()
+	line, err := c.readLine()
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(line), out)
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats() (Stats, error) {
+	var s Stats
+	err := c.jsonCmd("STATS", &s)
+	return s, err
+}
+
+// Windows lists completed windows.
+func (c *Client) Windows() ([]WindowInfo, error) {
+	var ws []WindowInfo
+	err := c.jsonCmd("WINDOWS", &ws)
+	return ws, err
+}
+
+// Learn segments the latest window and learns the policy baseline.
+func (c *Client) Learn() (LearnResult, error) {
+	var r LearnResult
+	err := c.jsonCmd("LEARN", &r)
+	return r, err
+}
+
+// Segments fetches the learned node-to-segment assignment.
+func (c *Client) Segments() (map[string]int, error) {
+	out := make(map[string]int)
+	err := c.jsonCmd("SEGMENTS", &out)
+	return out, err
+}
+
+// Monitor evaluates the latest window against the baseline.
+func (c *Client) Monitor() (MonitorResult, error) {
+	var r MonitorResult
+	err := c.jsonCmd("MONITOR", &r)
+	return r, err
+}
+
+// Summary fetches the latest window's succinct summary and attribution.
+func (c *Client) Summary() (SummaryResult, error) {
+	var r SummaryResult
+	err := c.jsonCmd("SUMMARY", &r)
+	return r, err
+}
+
+// Anomalies fetches per-window drift scores.
+func (c *Client) Anomalies() ([]AnomalyResult, error) {
+	var r []AnomalyResult
+	err := c.jsonCmd("ANOMALIES", &r)
+	return r, err
+}

@@ -1,0 +1,346 @@
+// Package analytics exposes the core engine as the software-as-a-service
+// sketched in Figure 8: host agents (or a replayer) stream connection
+// summaries to a TCP endpoint, workers fold them into the windowed
+// communication graphs, and administrators query segmentations, security
+// reports and summaries over the same protocol.
+//
+// The wire protocol is line-oriented commands with JSON responses:
+//
+//	INGEST <n>\n  followed by n binary flowlog frames  -> OK <n>
+//	FLUSH                                              -> OK <windows>
+//	STATS                                              -> JSON Stats
+//	WINDOWS                                            -> JSON []WindowInfo
+//	LEARN                                              -> JSON LearnResult
+//	SEGMENTS                                           -> JSON map[node]segment
+//	MONITOR                                            -> JSON MonitorResult
+//	SUMMARY                                            -> JSON SummaryResult
+//	ANOMALIES                                          -> JSON []AnomalyResult
+//	QUIT                                               -> connection closes
+package analytics
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cloudgraph/internal/core"
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/model"
+	"cloudgraph/internal/summarize"
+)
+
+// Server is a running analytics service.
+type Server struct {
+	engine *core.Engine
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") backed by a fresh
+// engine with the given config.
+func Serve(addr string, cfg core.Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{engine: core.NewEngine(cfg), ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Engine exposes the underlying engine (e.g. for in-process inspection).
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle runs the command loop for one connection.
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 256<<10)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToUpper(fields[0])
+		var cmdErr error
+		switch cmd {
+		case "QUIT":
+			fmt.Fprintf(w, "OK bye\n")
+			w.Flush()
+			return
+		case "INGEST":
+			cmdErr = s.cmdIngest(fields, r, w)
+		case "FLUSH":
+			fmt.Fprintf(w, "OK %d\n", len(s.engine.Flush()))
+		case "STATS":
+			cmdErr = writeJSON(w, s.stats())
+		case "WINDOWS":
+			cmdErr = writeJSON(w, s.windows())
+		case "LEARN":
+			cmdErr = s.cmdLearn(w)
+		case "SEGMENTS":
+			cmdErr = s.cmdSegments(w)
+		case "MONITOR":
+			cmdErr = s.cmdMonitor(w)
+		case "SUMMARY":
+			cmdErr = s.cmdSummary(w)
+		case "ANOMALIES":
+			cmdErr = s.cmdAnomalies(w)
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+		}
+		if cmdErr != nil {
+			fmt.Fprintf(w, "ERR %s\n", cmdErr)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// cmdIngest reads n binary frames and feeds them to the engine.
+func (s *Server) cmdIngest(fields []string, r *bufio.Reader, w *bufio.Writer) error {
+	if len(fields) != 2 {
+		return errors.New("usage: INGEST <count>")
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 {
+		return errors.New("bad count")
+	}
+	batch := make([]flowlog.Record, 0, n)
+	var buf [flowlog.WireSize]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return fmt.Errorf("short ingest stream at record %d", i)
+		}
+		rec, err := flowlog.DecodeBinary(buf[:])
+		if err != nil {
+			return err
+		}
+		batch = append(batch, rec)
+	}
+	s.engine.Ingest(batch)
+	fmt.Fprintf(w, "OK %d\n", n)
+	return nil
+}
+
+// Stats is the STATS response.
+type Stats struct {
+	Records       int64   `json:"records"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Windows       int     `json:"windows"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	Headline      string  `json:"headline,omitempty"`
+}
+
+func (s *Server) stats() Stats {
+	cost := s.engine.Cost()
+	st := Stats{Records: cost.Records, RecordsPerSec: cost.RecordsPerSec}
+	ws := s.engine.Windows()
+	st.Windows = len(ws)
+	if len(ws) > 0 {
+		sum := s.engine.Summary()
+		st.Nodes = sum.Stats.Nodes
+		st.Edges = sum.Stats.Edges
+		st.Headline = sum.Headline
+	}
+	return st
+}
+
+// WindowInfo is one entry of the WINDOWS response.
+type WindowInfo struct {
+	Start string `json:"start"`
+	End   string `json:"end"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Bytes uint64 `json:"bytes"`
+}
+
+func (s *Server) windows() []WindowInfo {
+	ws := s.engine.Windows()
+	out := make([]WindowInfo, 0, len(ws))
+	for _, g := range ws {
+		st := g.ComputeStats()
+		out = append(out, WindowInfo{
+			Start: g.Start.UTC().Format("2006-01-02T15:04:05Z"),
+			End:   g.End.UTC().Format("2006-01-02T15:04:05Z"),
+			Nodes: st.Nodes, Edges: st.Edges, Bytes: st.Bytes,
+		})
+	}
+	return out
+}
+
+// LearnResult is the LEARN response.
+type LearnResult struct {
+	Segments     int `json:"segments"`
+	Nodes        int `json:"nodes"`
+	AllowedPairs int `json:"allowed_pairs"`
+}
+
+func (s *Server) cmdLearn(w *bufio.Writer) error {
+	g := s.engine.Latest()
+	if g == nil {
+		return errors.New("no completed window to learn from (FLUSH first?)")
+	}
+	assign, err := s.engine.Learn(g)
+	if err != nil {
+		return err
+	}
+	_, reach := s.engine.Baseline()
+	return writeJSON(w, LearnResult{
+		Segments:     assign.NumSegments(),
+		Nodes:        len(assign),
+		AllowedPairs: len(reach.AllowedPairs()),
+	})
+}
+
+func (s *Server) cmdSegments(w *bufio.Writer) error {
+	assign, _ := s.engine.Baseline()
+	if assign == nil {
+		return errors.New("no baseline: LEARN first")
+	}
+	out := make(map[string]int, len(assign))
+	for n, seg := range assign {
+		out[n.String()] = seg
+	}
+	return writeJSON(w, out)
+}
+
+// MonitorResult is the MONITOR response.
+type MonitorResult struct {
+	Violations  int      `json:"violations"`
+	Alerts      int      `json:"alerts"`
+	Suppressed  int      `json:"suppressed_pairs"`
+	FlaggedPairs []string `json:"flagged_growth_pairs,omitempty"`
+}
+
+func (s *Server) cmdMonitor(w *bufio.Writer) error {
+	g := s.engine.Latest()
+	if g == nil {
+		return errors.New("no completed window")
+	}
+	rep := s.engine.Monitor(g)
+	if rep == nil {
+		return errors.New("no baseline: LEARN first")
+	}
+	res := MonitorResult{Violations: len(rep.Violations), Alerts: rep.Alerts}
+	for _, c := range rep.Cohorts {
+		if c.Suppressed {
+			res.Suppressed++
+		}
+	}
+	for _, pg := range rep.Growth {
+		if pg.Flagged {
+			res.FlaggedPairs = append(res.FlaggedPairs, fmt.Sprintf("%d-%d", pg.Pair.A, pg.Pair.B))
+		}
+	}
+	return writeJSON(w, res)
+}
+
+// SummaryResult is the SUMMARY response: the succinct summary plus byte
+// attribution of the latest window.
+type SummaryResult struct {
+	Headline    string  `json:"headline"`
+	Attribution string  `json:"attribution"`
+	Hubs        int     `json:"hubs"`
+	Cliques     int     `json:"cliques"`
+	CliquePct   float64 `json:"clique_bytes_pct"`
+	HubPct      float64 `json:"hub_bytes_pct"`
+	TailPct     float64 `json:"long_tail_bytes_pct"`
+	ScatterPct  float64 `json:"scatter_bytes_pct"`
+}
+
+func (s *Server) cmdSummary(w *bufio.Writer) error {
+	g := s.engine.Latest()
+	if g == nil {
+		return errors.New("no completed window")
+	}
+	sum := summarize.Summarize(g)
+	attr := model.Attribute(g)
+	return writeJSON(w, SummaryResult{
+		Headline:    sum.Headline,
+		Attribution: attr.Headline,
+		Hubs:        len(sum.Hubs),
+		Cliques:     len(sum.Cliques),
+		CliquePct:   100 * attr.CliqueShare,
+		HubPct:      100 * attr.HubShare,
+		TailPct:     100 * attr.CollapsedShare,
+		ScatterPct:  100 * attr.ScatterShare,
+	})
+}
+
+// AnomalyResult is one window's drift score in the ANOMALIES response.
+type AnomalyResult struct {
+	Window    int     `json:"window"`
+	Drift     float64 `json:"drift"`
+	NewPairs  int     `json:"new_pairs"`
+	LostPairs int     `json:"lost_pairs"`
+	Anomalous bool    `json:"anomalous"`
+}
+
+func (s *Server) cmdAnomalies(w *bufio.Writer) error {
+	scores := s.engine.Anomalies(summarize.AnomalyOptions{})
+	out := make([]AnomalyResult, 0, len(scores))
+	for _, sc := range scores {
+		out = append(out, AnomalyResult{
+			Window: sc.Index, Drift: sc.Drift,
+			NewPairs: sc.NewPairs, LostPairs: sc.LostPairs,
+			Anomalous: sc.Anomalous,
+		})
+	}
+	return writeJSON(w, out)
+}
+
+// writeJSON writes one compact JSON line.
+func writeJSON(w *bufio.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	w.Write(b)
+	return w.WriteByte('\n')
+}
+

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Attack injects malicious traffic into a cluster, standing in for the
+// breach-and-attack-simulation tool the paper runs against µserviceBench.
+// Attacks add flows through the same fabric as legitimate traffic, so they
+// appear in the telemetry exactly as a real breach would — and, per §3.1,
+// the telemetry remains trustworthy because the breached VM cannot tamper
+// with NIC-level collection.
+type Attack interface {
+	// Name identifies the attack in reports.
+	Name() string
+	// Inject adds the attack's flows for the minute starting at t.
+	Inject(c *Cluster, t time.Time)
+}
+
+// window reports whether t falls in [start, start+d).
+func window(t, start time.Time, d time.Duration) bool {
+	return !t.Before(start) && t.Before(start.Add(d))
+}
+
+// PortScan models reconnaissance: a compromised instance probes many ports
+// on the instances of a target role, creating a burst of tiny flows that
+// violates the role's learned reachability.
+type PortScan struct {
+	AttackerRole string // role of the compromised instance
+	AttackerIdx  int    // which instance of the role is compromised
+	TargetRole   string
+	PortsPerMin  int
+	Start        time.Time
+	Duration     time.Duration
+}
+
+// Name implements Attack.
+func (a PortScan) Name() string { return "port-scan" }
+
+// Inject implements Attack.
+func (a PortScan) Inject(c *Cluster, t time.Time) {
+	if !window(t, a.Start, a.Duration) {
+		return
+	}
+	src := c.instanceOf(a.AttackerRole, a.AttackerIdx)
+	targets := c.roles[a.TargetRole]
+	if src == nil || targets == nil || len(targets.instances) == 0 {
+		return
+	}
+	for i := 0; i < a.PortsPerMin; i++ {
+		dst := targets.instances[c.rng.Intn(len(targets.instances))]
+		port := uint16(1 + c.rng.Intn(10000))
+		c.observeAttack(
+			netip.AddrPortFrom(src.addr, src.ephemeral()),
+			netip.AddrPortFrom(dst.addr, port),
+			2, 1, 120, 60, t, // SYN probes: a couple of packets each way
+		)
+	}
+}
+
+// LateralMovement models a breached instance reaching service ports of
+// peers its role never legitimately talks to.
+type LateralMovement struct {
+	AttackerRole string
+	AttackerIdx  int
+	TargetRole   string
+	FlowsPerMin  int
+	Bytes        uint64
+	Start        time.Time
+	Duration     time.Duration
+}
+
+// Name implements Attack.
+func (a LateralMovement) Name() string { return "lateral-movement" }
+
+// Inject implements Attack.
+func (a LateralMovement) Inject(c *Cluster, t time.Time) {
+	if !window(t, a.Start, a.Duration) {
+		return
+	}
+	src := c.instanceOf(a.AttackerRole, a.AttackerIdx)
+	targets := c.roles[a.TargetRole]
+	if src == nil || targets == nil || len(targets.instances) == 0 {
+		return
+	}
+	for i := 0; i < a.FlowsPerMin; i++ {
+		dst := targets.instances[c.rng.Intn(len(targets.instances))]
+		c.observeAttack(
+			netip.AddrPortFrom(src.addr, src.ephemeral()),
+			netip.AddrPortFrom(dst.addr, targets.Port),
+			packetsFor(a.Bytes), packetsFor(a.Bytes/4),
+			a.Bytes, a.Bytes/4, t,
+		)
+	}
+}
+
+// Exfiltration models bulk data theft: sustained large transfers from a
+// breached instance to an attacker-controlled external endpoint.
+type Exfiltration struct {
+	SourceRole  string
+	SourceIdx   int
+	Destination netip.Addr // attacker-controlled endpoint (outside all roles)
+	BytesPerMin uint64
+	Start       time.Time
+	Duration    time.Duration
+}
+
+// Name implements Attack.
+func (a Exfiltration) Name() string { return "exfiltration" }
+
+// Inject implements Attack.
+func (a Exfiltration) Inject(c *Cluster, t time.Time) {
+	if !window(t, a.Start, a.Duration) {
+		return
+	}
+	src := c.instanceOf(a.SourceRole, a.SourceIdx)
+	if src == nil || !a.Destination.IsValid() {
+		return
+	}
+	c.observeAttack(
+		netip.AddrPortFrom(src.addr, 45123), // stable port: one long-lived flow
+		netip.AddrPortFrom(a.Destination, 443),
+		packetsFor(a.BytesPerMin), packetsFor(a.BytesPerMin/100),
+		a.BytesPerMin, a.BytesPerMin/100, t,
+	)
+}
+
+// Beacon models command-and-control keepalives: small, metronomically
+// periodic flows from a breached instance to an external C2 endpoint.
+type Beacon struct {
+	SourceRole string
+	SourceIdx  int
+	C2         netip.Addr
+	Period     time.Duration // beacon every Period (rounded to minutes)
+	Bytes      uint64
+	Start      time.Time
+	Duration   time.Duration
+}
+
+// Name implements Attack.
+func (a Beacon) Name() string { return "c2-beacon" }
+
+// Inject implements Attack.
+func (a Beacon) Inject(c *Cluster, t time.Time) {
+	if !window(t, a.Start, a.Duration) {
+		return
+	}
+	period := a.Period
+	if period < time.Minute {
+		period = time.Minute
+	}
+	if t.Sub(a.Start)%period >= time.Minute {
+		return // not a beacon minute
+	}
+	src := c.instanceOf(a.SourceRole, a.SourceIdx)
+	if src == nil || !a.C2.IsValid() {
+		return
+	}
+	c.observeAttack(
+		netip.AddrPortFrom(src.addr, 51999),
+		netip.AddrPortFrom(a.C2, 8443),
+		2, 2, a.Bytes, a.Bytes, t,
+	)
+}
+
+// instanceOf returns instance idx of the named role, or nil.
+func (c *Cluster) instanceOf(roleName string, idx int) *instance {
+	r := c.roles[roleName]
+	if r == nil || idx < 0 || idx >= len(r.instances) {
+		return nil
+	}
+	return r.instances[idx]
+}

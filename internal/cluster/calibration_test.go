@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"testing"
+
+	"cloudgraph/internal/graph"
+)
+
+// TestPortalCalibration locks the Portal preset near its Table 1 targets:
+// ~4K IP-graph nodes, ~5K edges, ~332 records/min. Portal is the only
+// full-scale preset cheap enough to regenerate in unit tests; the other
+// three are checked by cmd/experiments (see EXPERIMENTS.md).
+func TestPortalCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates an hour of telemetry")
+	}
+	c := mustCluster(t, Portal(1))
+	recs, err := c.CollectHour(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIP})
+	s := g.ComputeStats()
+	if s.Nodes < 3000 || s.Nodes > 5000 {
+		t.Errorf("Portal nodes = %d, want ~4K (Table 1)", s.Nodes)
+	}
+	if s.Edges < 3500 || s.Edges > 6500 {
+		t.Errorf("Portal edges = %d, want ~5K (Table 1)", s.Edges)
+	}
+	perMin := len(recs) / 60
+	if perMin < 200 || perMin > 550 {
+		t.Errorf("Portal records/min = %d, want ~332 (Table 1)", perMin)
+	}
+	// Structural sanity: frontends are the hubs.
+	for _, fe := range c.Addresses("web-frontend") {
+		if d := g.Degree(graph.IPNode(fe)); d < 500 {
+			t.Errorf("frontend %v degree = %d, want a hub", fe, d)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+)
+
+// The four Table 1 datasets. Each preset takes a scale in (0, 1] that
+// shrinks instance counts, fanouts and flow rates together, so the graph
+// *shape* (role structure, hubs, cliques, density ordering across datasets)
+// is preserved while wall-clock and memory cost drop roughly quadratically.
+// scale=1 targets the paper's reported graph sizes.
+
+// scaleN scales an instance count, never below 1.
+func scaleN(n int, s float64) int {
+	v := int(math.Round(float64(n) * s))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Portal models the web portal of a large cloud: a handful of monitored
+// frontend VMs serving a large churning population of internet clients.
+// Table 1: 4 IPs monitored, hourly IP-graph ≈ 4K nodes (5K edges), ≈332
+// records/min. Client IPs each carry far below 0.1% of traffic, so this
+// dataset is reported uncollapsed.
+func Portal(scale float64) Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Spec{
+		Name:        "Portal",
+		Seed:        101,
+		InternalNet: netip.MustParsePrefix("10.1.0.0/16"),
+		ExternalNet: netip.MustParsePrefix("198.18.0.0/15"),
+		Roles: []RoleSpec{
+			{Name: "web-frontend", Count: 4, Port: 443},
+			{Name: "client", Count: scaleN(3400, scale), External: true, ActiveFraction: 0.065},
+			{Name: "client-multi", Count: scaleN(700, scale), External: true, ActiveFraction: 0.065},
+			{Name: "auth-upstream", Count: 2, External: true, Port: 443},
+			{Name: "object-store", Count: 3, External: true, Port: 443},
+			{Name: "telemetry-sink", Count: 1, External: true, Port: 443},
+		},
+		Links: []LinkSpec{
+			{Src: "client", Dst: "web-frontend", FlowsPerMin: 1.2, Fanout: 1, FwdBytes: 900, RevBytes: 28_000},
+			{Src: "client-multi", Dst: "web-frontend", FlowsPerMin: 1.2, Fanout: 2, FwdBytes: 900, RevBytes: 28_000},
+			{Src: "web-frontend", Dst: "auth-upstream", FlowsPerMin: 8, Fanout: -1, FwdBytes: 1500, RevBytes: 2500},
+			{Src: "web-frontend", Dst: "object-store", FlowsPerMin: 12, Fanout: -1, FwdBytes: 500, RevBytes: 60_000},
+			{Src: "web-frontend", Dst: "telemetry-sink", FlowsPerMin: 4, Fanout: -1, FwdBytes: 20_000, RevBytes: 200, Persistent: true},
+		},
+		CollapseThreshold: 0, // see DESIGN.md: clients dominate the node count
+		VMsPerHost:        4,
+	}
+}
+
+// MicroserviceBench models the public microservices shopping-site benchmark
+// the paper injects attacks into: 16 monitored VMs running an online
+// boutique (frontend, cart, catalog, checkout, ...) under synthetic load.
+// Table 1: 16 IPs monitored, hourly IP-graph 33 nodes (268 edges), ≈48K
+// records/min — tiny node count, very dense.
+func MicroserviceBench(scale float64) Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	rate := func(v float64) float64 { return v * scale }
+	return Spec{
+		Name:        "uServiceBench",
+		Seed:        202,
+		InternalNet: netip.MustParsePrefix("10.2.0.0/16"),
+		ExternalNet: netip.MustParsePrefix("198.20.0.0/16"),
+		Roles: []RoleSpec{
+			{Name: "loadgen", Count: 1, Port: 9999},
+			{Name: "frontend", Count: 2, Port: 8080},
+			{Name: "cart", Count: 1, Port: 7070},
+			{Name: "productcatalog", Count: 2, Port: 3550},
+			{Name: "currency", Count: 2, Port: 7000},
+			{Name: "payment", Count: 1, Port: 50051},
+			{Name: "shipping", Count: 1, Port: 50052},
+			{Name: "email", Count: 1, Port: 5000},
+			{Name: "checkout", Count: 1, Port: 5050},
+			{Name: "recommendation", Count: 2, Port: 8081},
+			{Name: "ad", Count: 1, Port: 9555},
+			{Name: "redis", Count: 1, Port: 6379},
+			// Externals: clients poking the exposed frontend plus the
+			// cluster-level dependencies every pod touches.
+			{Name: "ext-client", Count: 8, External: true},
+			{Name: "dns", Count: 2, External: true, Port: 53},
+			{Name: "registry", Count: 1, External: true, Port: 443},
+			{Name: "cloud-api", Count: 3, External: true, Port: 443},
+			{Name: "monitor", Count: 2, External: true, Port: 443},
+			{Name: "ntp", Count: 1, External: true, Port: 123},
+		},
+		Links: []LinkSpec{
+			{Src: "loadgen", Dst: "frontend", FlowsPerMin: rate(5000), Fanout: -1, FwdBytes: 800, RevBytes: 12_000},
+			{Src: "ext-client", Dst: "frontend", FlowsPerMin: rate(30), Fanout: -1, FwdBytes: 800, RevBytes: 12_000},
+			{Src: "frontend", Dst: "cart", FlowsPerMin: rate(1200), Fanout: -1, FwdBytes: 300, RevBytes: 600},
+			{Src: "frontend", Dst: "productcatalog", FlowsPerMin: rate(1800), Fanout: -1, FwdBytes: 300, RevBytes: 2500},
+			{Src: "frontend", Dst: "currency", FlowsPerMin: rate(1500), Fanout: -1, FwdBytes: 200, RevBytes: 250},
+			{Src: "frontend", Dst: "recommendation", FlowsPerMin: rate(900), Fanout: -1, FwdBytes: 300, RevBytes: 900},
+			{Src: "frontend", Dst: "ad", FlowsPerMin: rate(900), Fanout: -1, FwdBytes: 250, RevBytes: 700},
+			{Src: "frontend", Dst: "checkout", FlowsPerMin: rate(350), Fanout: -1, FwdBytes: 900, RevBytes: 1200},
+			{Src: "checkout", Dst: "payment", FlowsPerMin: rate(350), Fanout: -1, FwdBytes: 600, RevBytes: 400},
+			{Src: "checkout", Dst: "shipping", FlowsPerMin: rate(350), Fanout: -1, FwdBytes: 500, RevBytes: 450},
+			{Src: "checkout", Dst: "email", FlowsPerMin: rate(330), Fanout: -1, FwdBytes: 1200, RevBytes: 200},
+			{Src: "checkout", Dst: "cart", FlowsPerMin: rate(350), Fanout: -1, FwdBytes: 300, RevBytes: 500},
+			{Src: "checkout", Dst: "currency", FlowsPerMin: rate(700), Fanout: -1, FwdBytes: 200, RevBytes: 250},
+			{Src: "checkout", Dst: "productcatalog", FlowsPerMin: rate(350), Fanout: -1, FwdBytes: 300, RevBytes: 2000},
+			{Src: "recommendation", Dst: "productcatalog", FlowsPerMin: rate(900), Fanout: -1, FwdBytes: 300, RevBytes: 2200},
+			{Src: "cart", Dst: "redis", FlowsPerMin: rate(2400), Fanout: -1, FwdBytes: 250, RevBytes: 350, Persistent: true},
+			// Cluster plumbing: every pod resolves names, reports metrics,
+			// pulls images and syncs time — this is what densifies the
+			// tiny IP-graph to ~268 of 528 possible edges.
+			{Src: "monitor", Dst: "frontend", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "cart", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "productcatalog", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "currency", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "payment", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "shipping", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "email", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "checkout", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "recommendation", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "ad", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "redis", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "monitor", Dst: "loadgen", FlowsPerMin: rate(12), Fanout: -1, FwdBytes: 300, RevBytes: 8000},
+			{Src: "frontend", Dst: "dns", FlowsPerMin: rate(60), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "checkout", Dst: "dns", FlowsPerMin: rate(40), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "recommendation", Dst: "dns", FlowsPerMin: rate(40), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "cart", Dst: "dns", FlowsPerMin: rate(40), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "currency", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "productcatalog", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "payment", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "shipping", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "email", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "ad", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "redis", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "loadgen", Dst: "dns", FlowsPerMin: rate(20), Fanout: -1, FwdBytes: 80, RevBytes: 200},
+			{Src: "frontend", Dst: "cloud-api", FlowsPerMin: rate(8), Fanout: -1, FwdBytes: 1000, RevBytes: 3000},
+			{Src: "checkout", Dst: "cloud-api", FlowsPerMin: rate(8), Fanout: -1, FwdBytes: 1000, RevBytes: 3000},
+			{Src: "payment", Dst: "cloud-api", FlowsPerMin: rate(8), Fanout: -1, FwdBytes: 1000, RevBytes: 3000},
+			{Src: "shipping", Dst: "cloud-api", FlowsPerMin: rate(8), Fanout: -1, FwdBytes: 1000, RevBytes: 3000},
+			{Src: "email", Dst: "cloud-api", FlowsPerMin: rate(8), Fanout: -1, FwdBytes: 1000, RevBytes: 3000},
+			{Src: "frontend", Dst: "registry", FlowsPerMin: rate(2), Fanout: -1, FwdBytes: 500, RevBytes: 90_000},
+			{Src: "cart", Dst: "registry", FlowsPerMin: rate(2), Fanout: -1, FwdBytes: 500, RevBytes: 90_000},
+			{Src: "redis", Dst: "registry", FlowsPerMin: rate(2), Fanout: -1, FwdBytes: 500, RevBytes: 90_000},
+			{Src: "productcatalog", Dst: "registry", FlowsPerMin: rate(2), Fanout: -1, FwdBytes: 500, RevBytes: 90_000},
+			{Src: "recommendation", Dst: "registry", FlowsPerMin: rate(2), Fanout: -1, FwdBytes: 500, RevBytes: 90_000},
+			{Src: "frontend", Dst: "ntp", FlowsPerMin: rate(1), Fanout: -1, FwdBytes: 90, RevBytes: 90},
+			{Src: "redis", Dst: "ntp", FlowsPerMin: rate(1), Fanout: -1, FwdBytes: 90, RevBytes: 90},
+			{Src: "payment", Dst: "ntp", FlowsPerMin: rate(1), Fanout: -1, FwdBytes: 90, RevBytes: 90},
+		},
+		Meshes: []MeshSpec{
+			// Node-level kubelet/overlay chatter among all 16 VMs: this is
+			// what takes the tiny IP-graph to ~268 of 528 possible edges.
+			{
+				Roles: []string{
+					"loadgen", "frontend", "cart", "productcatalog", "currency",
+					"payment", "shipping", "email", "checkout", "recommendation",
+					"ad", "redis",
+				},
+				FlowsPerMin: rate(6), Fanout: -1, Port: 10250,
+				FwdBytes: 400, RevBytes: 400,
+			},
+		},
+		CollapseThreshold: 0,
+		VMsPerHost:        8,
+	}
+}
+
+// K8sPaaS models the production kubernetes-as-a-service cluster the paper
+// uses as its default dataset: customer pods on hundreds of worker VMs plus
+// the control plane (API servers, etcd, DNS, ingress) and cluster services.
+// Table 1: 390 IPs monitored, hourly IP-graph 541 nodes (12K edges), ≈68K
+// records/min. The 0.1% heavy-hitter collapse merges the long tail of tiny
+// internet clients into one node while ~150 substantial external endpoints
+// survive.
+func K8sPaaS(scale float64) Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	workers := scaleN(360, scale)
+	rate := func(v float64) float64 { return v }
+	fan := func(n int) int {
+		v := int(math.Round(float64(n) * scale))
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	return Spec{
+		Name:        "K8s PaaS",
+		Seed:        303,
+		InternalNet: netip.MustParsePrefix("10.3.0.0/16"),
+		ExternalNet: netip.MustParsePrefix("198.22.0.0/16"),
+		Roles: []RoleSpec{
+			{Name: "apiserver", Count: 3, Port: 6443},
+			{Name: "etcd", Count: 3, Port: 2379},
+			{Name: "coredns", Count: scaleN(8, scale), Port: 53},
+			{Name: "ingress", Count: scaleN(8, scale), Port: 443},
+			{Name: "telemetry", Count: scaleN(6, scale), Port: 4317},
+			{Name: "registry-cache", Count: 2, Port: 5000},
+			{Name: "worker", Count: workers, Port: 10250, RateSkew: 1.1},
+			// Substantial external dependencies (each carries enough
+			// traffic to survive the 0.1% collapse)...
+			{Name: "cloud-store", Count: scaleN(60, scale), External: true, Port: 443},
+			{Name: "customer-api", Count: scaleN(60, scale), External: true, Port: 443},
+			{Name: "partner-feed", Count: scaleN(30, scale), External: true, Port: 443},
+			// ...and a long tail of tiny internet clients that collapses.
+			{Name: "inet-client", Count: scaleN(2000, scale), External: true, ActiveFraction: 0.05},
+		},
+		Links: []LinkSpec{
+			// Control plane.
+			{Src: "worker", Dst: "apiserver", FlowsPerMin: rate(10), Fanout: -1, FwdBytes: 2_000, RevBytes: 9_000, Persistent: true},
+			{Src: "apiserver", Dst: "etcd", FlowsPerMin: rate(300), Fanout: -1, FwdBytes: 1_500, RevBytes: 3_000, Persistent: true},
+			{Src: "worker", Dst: "coredns", FlowsPerMin: rate(15), Fanout: 2, FwdBytes: 90, RevBytes: 220},
+			{Src: "worker", Dst: "telemetry", FlowsPerMin: rate(6), Fanout: 1, FwdBytes: 30_000, RevBytes: 300, Persistent: true},
+			{Src: "worker", Dst: "registry-cache", FlowsPerMin: rate(0.5), Fanout: -1, FwdBytes: 800, RevBytes: 400_000},
+			// Customer pod mesh: each worker exchanges pod traffic with a
+			// stable subset of ~40 peers — the chatty cliques of Fig. 4.
+			{Src: "worker", Dst: "worker", FlowsPerMin: rate(50), Fanout: fan(15), FwdBytes: 6_000, RevBytes: 8_000},
+			// Ingress fans requests out across workers.
+			{Src: "ingress", Dst: "worker", FlowsPerMin: rate(400), Fanout: fan(100), FwdBytes: 1_200, RevBytes: 15_000},
+			// External dependencies and clients.
+			{Src: "worker", Dst: "cloud-store", FlowsPerMin: rate(8), Fanout: 3, FwdBytes: 2_000, RevBytes: 110_000},
+			{Src: "worker", Dst: "customer-api", FlowsPerMin: rate(6), Fanout: 6, FwdBytes: 6_000, RevBytes: 90_000},
+			{Src: "worker", Dst: "partner-feed", FlowsPerMin: rate(4), Fanout: 4, FwdBytes: 1_000, RevBytes: 80_000},
+			{Src: "inet-client", Dst: "ingress", FlowsPerMin: rate(1.5), Fanout: 1, FwdBytes: 700, RevBytes: 9_000},
+		},
+		CollapseThreshold: 0.001,
+		VMsPerHost:        16,
+	}
+}
+
+// KQuery models the SQL-on-memory analytics cluster: coordinators fan
+// queries out to a large worker pool whose shuffle stage is nearly
+// all-to-all, producing by far the densest graph of the four datasets.
+// Table 1: 1400 IPs monitored, hourly IP-graph 6K nodes (1.3M edges), ≈2.3M
+// records/min. Full scale is expensive; the experiment harness defaults to
+// scale 0.25 and reports scaled targets (see DESIGN.md).
+func KQuery(scale float64) Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	workers := scaleN(1320, scale)
+	fan := func(n int) int {
+		v := int(math.Round(float64(n) * scale))
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	return Spec{
+		Name:        "KQuery",
+		Seed:        404,
+		InternalNet: netip.MustParsePrefix("10.4.0.0/15"),
+		ExternalNet: netip.MustParsePrefix("198.24.0.0/15"),
+		Roles: []RoleSpec{
+			{Name: "coordinator", Count: scaleN(30, scale), Port: 8443},
+			{Name: "worker", Count: workers, Port: 9000, RateSkew: 0.9},
+			{Name: "cache", Count: scaleN(50, scale), Port: 11211},
+			{Name: "analyst", Count: scaleN(4500, scale), External: true, ActiveFraction: 0.12},
+			{Name: "lake-store", Count: scaleN(40, scale), External: true, Port: 443},
+		},
+		Links: []LinkSpec{
+			{Src: "analyst", Dst: "coordinator", FlowsPerMin: 1.5, Fanout: 2, FwdBytes: 2_000, RevBytes: 50_000},
+			{Src: "coordinator", Dst: "worker", FlowsPerMin: 400 * scale, Fanout: -1, FwdBytes: 4_000, RevBytes: 1_000},
+			// The shuffle: each worker streams partials to a large stable
+			// peer set every minute.
+			{Src: "worker", Dst: "worker", FlowsPerMin: 700 * scale, Fanout: fan(1000), FwdBytes: 40_000, RevBytes: 2_000},
+			{Src: "worker", Dst: "cache", FlowsPerMin: 40 * scale, Fanout: fan(50), FwdBytes: 500, RevBytes: 30_000},
+			{Src: "worker", Dst: "lake-store", FlowsPerMin: 5, Fanout: 4, FwdBytes: 1_000, RevBytes: 200_000},
+		},
+		// The Table 1 node count implies the analyst tail was retained for
+		// this dataset; see DESIGN.md.
+		CollapseThreshold: 0,
+		VMsPerHost:        20,
+	}
+}
+
+// Preset returns the named dataset spec at the given scale. Valid names are
+// "portal", "microservicebench" (alias "uservicebench"), "k8spaas" and
+// "kquery".
+func Preset(name string, scale float64) (Spec, error) {
+	switch name {
+	case "portal":
+		return Portal(scale), nil
+	case "microservicebench", "uservicebench":
+		return MicroserviceBench(scale), nil
+	case "k8spaas":
+		return K8sPaaS(scale), nil
+	case "kquery":
+		return KQuery(scale), nil
+	}
+	return Spec{}, fmt.Errorf("cluster: unknown preset %q", name)
+}
+
+// PresetNames lists the dataset presets in Table 1 order.
+func PresetNames() []string {
+	return []string{"portal", "microservicebench", "k8spaas", "kquery"}
+}

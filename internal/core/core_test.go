@@ -1,0 +1,235 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/nicsim"
+	"cloudgraph/internal/summarize"
+)
+
+var (
+	ipA = netip.MustParseAddr("10.0.0.1")
+	ipB = netip.MustParseAddr("10.0.0.2")
+	t0  = time.Unix(1700000000, 0).UTC().Truncate(time.Hour)
+)
+
+func rec(at time.Time, lport uint16, bytes uint64) flowlog.Record {
+	return flowlog.Record{
+		Time: at, LocalIP: ipA, LocalPort: lport, RemoteIP: ipB, RemotePort: 443,
+		PacketsSent: 1, BytesSent: bytes,
+	}
+}
+
+func TestWindowerSplitsByHour(t *testing.T) {
+	w := NewWindower(time.Hour, graph.BuilderOptions{})
+	w.Add(rec(t0.Add(5*time.Minute), 1, 100))
+	w.Add(rec(t0.Add(50*time.Minute), 2, 200))
+	w.Add(rec(t0.Add(70*time.Minute), 3, 300)) // next hour: closes first
+	if w.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (first hour closed)", w.Pending())
+	}
+	gs := w.Flush()
+	if len(gs) != 2 {
+		t.Fatalf("windows = %d, want 2", len(gs))
+	}
+	if gs[0].TotalTraffic().Bytes != 300 || gs[1].TotalTraffic().Bytes != 300 {
+		t.Errorf("window traffic = %d, %d", gs[0].TotalTraffic().Bytes, gs[1].TotalTraffic().Bytes)
+	}
+	if !gs[0].Start.Equal(t0) {
+		t.Errorf("window 0 start = %v", gs[0].Start)
+	}
+}
+
+func TestWindowerOnComplete(t *testing.T) {
+	w := NewWindower(time.Hour, graph.BuilderOptions{})
+	var got []*graph.Graph
+	w.OnComplete = func(g *graph.Graph) { got = append(got, g) }
+	w.Add(rec(t0, 1, 1))
+	w.Add(rec(t0.Add(time.Hour), 2, 2))
+	if len(got) != 1 {
+		t.Fatalf("OnComplete fired %d times, want 1", len(got))
+	}
+	w.Flush()
+	if len(got) != 2 {
+		t.Errorf("after Flush: %d, want 2", len(got))
+	}
+}
+
+func TestWindowerIgnoresInvalid(t *testing.T) {
+	w := NewWindower(time.Hour, graph.BuilderOptions{})
+	w.Add(flowlog.Record{})
+	if w.Pending() != 0 {
+		t.Error("invalid record opened a window")
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	// Drive a small synthetic cluster through the engine for three hours:
+	// learn on hour one, monitor an attack in hour three.
+	spec := cluster.Spec{
+		Name: "core-e2e", Seed: 5,
+		Roles: []cluster.RoleSpec{
+			{Name: "fe", Count: 4, Port: 443},
+			{Name: "be", Count: 3, Port: 9000},
+			{Name: "client", Count: 10, External: true},
+		},
+		Links: []cluster.LinkSpec{
+			{Src: "client", Dst: "fe", FlowsPerMin: 6, Fanout: 2, FwdBytes: 500, RevBytes: 8000},
+			{Src: "fe", Dst: "be", FlowsPerMin: 20, Fanout: -1, FwdBytes: 1000, RevBytes: 3000},
+		},
+	}
+	c, err := cluster.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Config{Window: time.Hour})
+
+	// Hours 1 and 2: clean traffic.
+	if _, err := c.Run(t0, 120, e); err != nil {
+		t.Fatal(err)
+	}
+	// Hour 3: a frontend goes rogue and scans its own role's peers —
+	// fe-fe contact never occurs in the baseline, so every probe violates
+	// the learned reachability.
+	c.AddAttack(cluster.PortScan{
+		AttackerRole: "fe", AttackerIdx: 0, TargetRole: "fe",
+		PortsPerMin: 30, Start: t0.Add(2 * time.Hour), Duration: time.Hour,
+	})
+	if _, err := c.Run(t0.Add(2*time.Hour), 60, e); err != nil {
+		t.Fatal(err)
+	}
+	windows := e.Flush()
+	if len(windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(windows))
+	}
+
+	assign, err := e.Learn(windows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign.NumSegments() < 2 {
+		t.Errorf("segments = %d, want at least client/fe/be structure", assign.NumSegments())
+	}
+
+	// Hour two should be mostly quiet; hour three should alert.
+	repClean := e.Monitor(windows[1])
+	repAttack := e.Monitor(windows[2])
+	if repClean == nil || repAttack == nil {
+		t.Fatal("Monitor returned nil after Learn")
+	}
+	if len(repAttack.Violations) == 0 {
+		t.Error("attack window produced no reachability violations")
+	}
+	if repAttack.Alerts == 0 {
+		t.Error("attack alerts were all suppressed")
+	}
+
+	// Anomaly scoring sees the drift, though with only 3 windows it
+	// cannot flag; just confirm the drift ordering.
+	scores := e.Anomalies(summarize.AnomalyOptions{MinHistory: 1})
+	if len(scores) != 3 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	if scores[2].NewPairs == 0 {
+		t.Error("attack window should add new communicating pairs")
+	}
+
+	if e.Summary().Stats.Nodes == 0 {
+		t.Error("summary empty")
+	}
+	if e.Cost().Records == 0 {
+		t.Error("meter recorded nothing")
+	}
+}
+
+func TestEngineMonitorBeforeLearn(t *testing.T) {
+	e := NewEngine(Config{})
+	if e.Monitor(graph.New(graph.FacetIP)) != nil {
+		t.Error("Monitor before Learn should be nil")
+	}
+	if a, r := e.Baseline(); a != nil || r != nil {
+		t.Error("baseline should be empty")
+	}
+	if e.Latest() != nil {
+		t.Error("Latest on empty engine")
+	}
+	if e.Summary().Stats.Nodes != 0 {
+		t.Error("Summary on empty engine")
+	}
+}
+
+func TestEngineMaxWindows(t *testing.T) {
+	e := NewEngine(Config{Window: time.Hour, MaxWindows: 2})
+	for h := 0; h < 5; h++ {
+		e.Ingest([]flowlog.Record{rec(t0.Add(time.Duration(h)*time.Hour), uint16(h+1), 10)})
+	}
+	ws := e.Flush()
+	if len(ws) != 2 {
+		t.Errorf("retained windows = %d, want 2", len(ws))
+	}
+}
+
+func TestEngineCollapseApplied(t *testing.T) {
+	e := NewEngine(Config{
+		Window:   time.Hour,
+		Collapse: graph.CollapseOptions{Threshold: 0.01},
+	})
+	recs := []flowlog.Record{rec(t0, 1, 1_000_000)}
+	for i := 0; i < 300; i++ {
+		r := flowlog.Record{
+			Time: t0, LocalIP: ipA, LocalPort: uint16(1000 + i),
+			RemoteIP: netip.AddrFrom4([4]byte{198, 18, byte(i >> 8), byte(i)}), RemotePort: 80,
+			PacketsSent: 1, BytesSent: 10,
+		}
+		recs = append(recs, r)
+	}
+	e.Ingest(recs)
+	ws := e.Flush()
+	if len(ws) != 1 {
+		t.Fatal("expected one window")
+	}
+	if !ws[0].HasNode(graph.Collapsed) {
+		t.Error("collapse was not applied to the completed window")
+	}
+}
+
+func TestEngineAsCollector(t *testing.T) {
+	var _ nicsim.Collector = NewEngine(Config{})
+}
+
+func TestMonitorAlertsOnUnknownEndpoint(t *testing.T) {
+	e := NewEngine(Config{Window: time.Hour})
+	base := graph.New(graph.FacetIP)
+	base.AddEdge(graph.IPNode(ipA), graph.IPNode(ipB), graph.Counters{Bytes: 1000, Conns: 1})
+	if _, err := e.Learn(base); err != nil {
+		t.Fatal(err)
+	}
+	// New window: ipA starts talking to a brand-new external endpoint.
+	next := graph.New(graph.FacetIP)
+	next.AddEdge(graph.IPNode(ipA), graph.IPNode(ipB), graph.Counters{Bytes: 1000, Conns: 1})
+	c2 := graph.IPNode(netip.MustParseAddr("198.51.100.66"))
+	next.AddEdge(graph.IPNode(ipA), c2, graph.Counters{Bytes: 1 << 30, Conns: 1})
+	rep := e.Monitor(next)
+	if rep == nil || len(rep.Violations) != 1 {
+		t.Fatalf("violations = %+v", rep)
+	}
+	if len(rep.Unknown) != 1 || rep.Alerts != 1 {
+		t.Errorf("unknown endpoint should alert: unknown=%d alerts=%d", len(rep.Unknown), rep.Alerts)
+	}
+}
+
+func TestEngineOnWindowHook(t *testing.T) {
+	var got []*graph.Graph
+	e := NewEngine(Config{Window: time.Hour, OnWindow: func(g *graph.Graph) { got = append(got, g) }})
+	e.Ingest([]flowlog.Record{rec(t0, 1, 10)})
+	e.Ingest([]flowlog.Record{rec(t0.Add(time.Hour), 2, 10)})
+	e.Flush()
+	if len(got) != 2 {
+		t.Errorf("OnWindow fired %d times, want 2", len(got))
+	}
+}

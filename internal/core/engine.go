@@ -1,0 +1,237 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/ingest"
+	"cloudgraph/internal/policy"
+	"cloudgraph/internal/segment"
+	"cloudgraph/internal/summarize"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Window is the graph window size. Default one hour.
+	Window time.Duration
+	// Facet selects node granularity for the graphs. Default FacetIP.
+	Facet graph.Facet
+	// Label maps addresses to services for FacetService graphs.
+	Label graph.Labeler
+	// Collapse configures heavy-hitter collapsing applied to each
+	// completed window (Threshold 0 disables).
+	Collapse graph.CollapseOptions
+	// Strategy and Segment configure auto-segmentation. Default is the
+	// paper's Jaccard+Louvain.
+	Strategy segment.Strategy
+	Segment  segment.Options
+	// MaxWindows bounds retained history (0 = keep everything).
+	MaxWindows int
+	// KeepSeries records per-interval time series on edges.
+	KeepSeries bool
+	// OnWindow, when set, is called with each completed (and collapsed)
+	// window — the hook durable stores attach to.
+	OnWindow func(*graph.Graph)
+}
+
+func (c *Config) defaults() {
+	if c.Window <= 0 {
+		c.Window = time.Hour
+	}
+	if c.Strategy == "" {
+		c.Strategy = segment.StrategyJaccardLouvain
+	}
+}
+
+// Engine consumes connection summaries and maintains the dynamic view: the
+// rolling window graphs plus the learned segmentation and reachability
+// policy. It is safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	windower *Windower
+	windows  []*graph.Graph // collapsed, completed windows in order
+	meter    *ingest.Meter
+
+	// baseline state, established by Learn.
+	assign segment.Assignment
+	reach  *policy.Reachability
+}
+
+// NewEngine returns an Engine with the given config.
+func NewEngine(cfg Config) *Engine {
+	cfg.defaults()
+	e := &Engine{cfg: cfg, meter: ingest.NewMeter()}
+	e.windower = NewWindower(cfg.Window, graph.BuilderOptions{
+		Facet:      cfg.Facet,
+		Label:      cfg.Label,
+		KeepSeries: cfg.KeepSeries,
+	})
+	e.windower.OnComplete = e.onWindow
+	return e
+}
+
+// onWindow collapses and stores a completed window. Caller holds e.mu.
+func (e *Engine) onWindow(g *graph.Graph) {
+	if e.cfg.Collapse.Threshold > 0 || e.cfg.Collapse.Keep != nil {
+		g = g.Collapse(e.cfg.Collapse)
+	}
+	e.windows = append(e.windows, g)
+	if e.cfg.MaxWindows > 0 && len(e.windows) > e.cfg.MaxWindows {
+		e.windows = e.windows[len(e.windows)-e.cfg.MaxWindows:]
+	}
+	if e.cfg.OnWindow != nil {
+		e.cfg.OnWindow(g)
+	}
+}
+
+// Ingest adds a batch of records.
+func (e *Engine) Ingest(recs []flowlog.Record) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.meter.Observe(len(recs))
+	for _, r := range recs {
+		e.windower.Add(r)
+	}
+}
+
+// Collect implements nicsim.Collector, so an Engine can sit directly at the
+// end of the collection path of Figure 7.
+func (e *Engine) Collect(recs []flowlog.Record) error {
+	e.Ingest(recs)
+	return nil
+}
+
+// Flush closes open windows and returns all completed window graphs.
+func (e *Engine) Flush() []*graph.Graph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.windower.Flush()
+	out := make([]*graph.Graph, len(e.windows))
+	copy(out, e.windows)
+	return out
+}
+
+// Windows returns the completed window graphs without flushing.
+func (e *Engine) Windows() []*graph.Graph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*graph.Graph, len(e.windows))
+	copy(out, e.windows)
+	return out
+}
+
+// Latest returns the most recent completed window, or nil.
+func (e *Engine) Latest() *graph.Graph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.windows) == 0 {
+		return nil
+	}
+	return e.windows[len(e.windows)-1]
+}
+
+// Cost returns the ingest cost report so far.
+func (e *Engine) Cost() ingest.CostReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.meter.Snapshot()
+}
+
+// Learn segments the given window (typically the first clean one) and
+// derives the reachability policy from it, establishing the engine's
+// baseline. It returns the segmentation.
+func (e *Engine) Learn(g *graph.Graph) (segment.Assignment, error) {
+	assign, err := segment.Run(e.cfg.Strategy, g, e.cfg.Segment)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.assign = assign
+	e.reach = policy.Learn(g, assign)
+	e.mu.Unlock()
+	return assign, nil
+}
+
+// Baseline returns the learned segmentation and policy (nil before Learn).
+func (e *Engine) Baseline() (segment.Assignment, *policy.Reachability) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.assign, e.reach
+}
+
+// Monitor evaluates a window against the learned baseline: raw reachability
+// violations, similarity-filtered cohort changes, and proportionality
+// assessments. It returns nil results before Learn.
+func (e *Engine) Monitor(g *graph.Graph) *MonitorReport {
+	e.mu.Lock()
+	reach := e.reach
+	var base *graph.Graph
+	if len(e.windows) > 0 {
+		base = e.windows[0]
+	}
+	e.mu.Unlock()
+	if reach == nil {
+		return nil
+	}
+	rep := &MonitorReport{
+		Violations: reach.CheckGraph(g),
+		Cohorts:    policy.SimilarityPolicy{R: reach}.Evaluate(g),
+	}
+	if base != nil {
+		rep.Growth = policy.ProportionalityPolicy{R: reach}.Evaluate(base, g)
+	}
+	for _, c := range rep.Cohorts {
+		if !c.Suppressed {
+			rep.Alerts += len(c.Violations)
+		}
+	}
+	// Violations touching nodes outside the baseline assignment — e.g. a
+	// brand-new external endpoint receiving exfiltrated data or serving
+	// as a C2 — have no cohort to vouch for them and always alert.
+	assign := reach.Assign
+	for _, v := range rep.Violations {
+		_, okA := assign[v.A]
+		_, okB := assign[v.B]
+		if !okA || !okB {
+			rep.Alerts++
+			rep.Unknown = append(rep.Unknown, v)
+		}
+	}
+	return rep
+}
+
+// MonitorReport is the security assessment of one window.
+type MonitorReport struct {
+	// Violations are raw reachability denials.
+	Violations []policy.Violation
+	// Cohorts groups the violations per segment pair with similarity
+	// suppression applied.
+	Cohorts []policy.CohortChange
+	// Growth is the proportionality assessment vs the baseline window.
+	Growth []policy.PairGrowth
+	// Unknown lists violations involving nodes absent from the baseline
+	// assignment (new endpoints); these always alert.
+	Unknown []policy.Violation
+	// Alerts counts violations that survive similarity suppression plus
+	// all Unknown violations.
+	Alerts int
+}
+
+// Anomalies scores all completed windows for hour-over-hour drift.
+func (e *Engine) Anomalies(opts summarize.AnomalyOptions) []summarize.WindowScore {
+	return summarize.ScoreWindows(e.Windows(), opts)
+}
+
+// Summary returns the succinct summary of the latest window, or a zero
+// Summary when no window has completed.
+func (e *Engine) Summary() summarize.Summary {
+	g := e.Latest()
+	if g == nil {
+		return summarize.Summary{}
+	}
+	return summarize.Summarize(g)
+}

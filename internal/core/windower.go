@@ -1,0 +1,97 @@
+// Package core is the heart of the system: it turns the continuous
+// connection-summary stream into the time series of communication graphs
+// the paper's analyses consume ("we can generate a time-series of graphs",
+// §1), and orchestrates those analyses — segmentation, policy monitoring,
+// succinct summaries and anomaly detection — over the windows.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+)
+
+// Windower splits a record stream into fixed windows (hours, in the paper's
+// figures) and builds one communication graph per window. Records may
+// arrive slightly out of order; a window closes when a record at least one
+// full window newer arrives, or at Flush.
+type Windower struct {
+	window time.Duration
+	opts   graph.BuilderOptions
+	// OnComplete, when set, is called with each finished graph in window
+	// order.
+	OnComplete func(*graph.Graph)
+
+	builders map[time.Time]*graph.Builder
+	maxStart time.Time
+	done     []*graph.Graph
+}
+
+// NewWindower returns a Windower with the given window size (default one
+// hour) and builder options.
+func NewWindower(window time.Duration, opts graph.BuilderOptions) *Windower {
+	if window <= 0 {
+		window = time.Hour
+	}
+	return &Windower{
+		window:   window,
+		opts:     opts,
+		builders: make(map[time.Time]*graph.Builder),
+	}
+}
+
+// Add routes one record into its window's builder.
+func (w *Windower) Add(rec flowlog.Record) {
+	if !rec.Valid() {
+		return
+	}
+	start := rec.Time.Truncate(w.window)
+	b, ok := w.builders[start]
+	if !ok {
+		b = graph.NewBuilder(w.opts)
+		w.builders[start] = b
+	}
+	b.Add(rec)
+	if start.After(w.maxStart) {
+		w.maxStart = start
+		w.closeBefore(start)
+	}
+}
+
+// closeBefore finishes every window strictly older than cutoff.
+func (w *Windower) closeBefore(cutoff time.Time) {
+	var starts []time.Time
+	for s := range w.builders {
+		if s.Before(cutoff) {
+			starts = append(starts, s)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+	for _, s := range starts {
+		g := w.builders[s].Finish()
+		// The graph covers its whole window, not just the span of the
+		// records that happened to arrive.
+		g.Start = s
+		g.End = s.Add(w.window)
+		delete(w.builders, s)
+		w.done = append(w.done, g)
+		if w.OnComplete != nil {
+			w.OnComplete(g)
+		}
+	}
+}
+
+// Flush closes all open windows and returns every completed graph in
+// window order. The Windower can keep accepting records afterwards.
+func (w *Windower) Flush() []*graph.Graph {
+	w.closeBefore(w.maxStart.Add(w.window))
+	out := make([]*graph.Graph, len(w.done))
+	copy(out, w.done)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Pending returns the number of still-open windows.
+func (w *Windower) Pending() int { return len(w.builders) }

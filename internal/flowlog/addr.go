@@ -1,0 +1,18 @@
+package flowlog
+
+import (
+	"net/netip"
+	"time"
+)
+
+// addrFrom16 reconstructs an address from its 16-byte form, unmapping
+// v4-mapped-v6 back to a plain IPv4 address so that round-tripped addresses
+// compare equal to the originals.
+func addrFrom16(b []byte) netip.Addr {
+	var a16 [16]byte
+	copy(a16[:], b)
+	return netip.AddrFrom16(a16).Unmap()
+}
+
+// unixTime converts Unix seconds to a UTC time.Time.
+func unixTime(sec int64) time.Time { return time.Unix(sec, 0).UTC() }

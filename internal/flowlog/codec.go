@@ -1,0 +1,112 @@
+package flowlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary wire format: fixed 76-byte little-endian frames so a stream can be
+// read without per-record framing overhead. Layout:
+//
+//	0   int64   unix seconds
+//	8   [16]b   local IP (IPv4 stored as v4-mapped v6)
+//	24  uint16  local port
+//	26  [16]b   remote IP
+//	42  uint16  remote port
+//	44  uint64  packets sent
+//	52  uint64  packets received
+//	60  uint64  bytes sent
+//	68  uint64  bytes received
+//
+// Total = 76 bytes = WireSize.
+
+// AppendBinary appends the fixed binary encoding of r to dst and returns the
+// extended slice. It never fails for a Valid record.
+func AppendBinary(dst []byte, r Record) []byte {
+	var buf [WireSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.Time.Unix()))
+	a16 := r.LocalIP.As16()
+	copy(buf[8:], a16[:])
+	binary.LittleEndian.PutUint16(buf[24:], r.LocalPort)
+	b16 := r.RemoteIP.As16()
+	copy(buf[26:], b16[:])
+	binary.LittleEndian.PutUint16(buf[42:], r.RemotePort)
+	binary.LittleEndian.PutUint64(buf[44:], r.PacketsSent)
+	binary.LittleEndian.PutUint64(buf[52:], r.PacketsRcvd)
+	binary.LittleEndian.PutUint64(buf[60:], r.BytesSent)
+	binary.LittleEndian.PutUint64(buf[68:], r.BytesRcvd)
+	return append(dst, buf[:]...)
+}
+
+// DecodeBinary decodes one fixed-size frame from b. It returns ErrBadRecord
+// if b is shorter than WireSize.
+func DecodeBinary(b []byte) (Record, error) {
+	var r Record
+	if len(b) < WireSize {
+		return r, fmt.Errorf("%w: short frame: %d bytes", ErrBadRecord, len(b))
+	}
+	r.Time = unixTime(int64(binary.LittleEndian.Uint64(b[0:])))
+	r.LocalIP = addrFrom16(b[8:24])
+	r.LocalPort = binary.LittleEndian.Uint16(b[24:])
+	r.RemoteIP = addrFrom16(b[26:42])
+	r.RemotePort = binary.LittleEndian.Uint16(b[42:])
+	r.PacketsSent = binary.LittleEndian.Uint64(b[44:])
+	r.PacketsRcvd = binary.LittleEndian.Uint64(b[52:])
+	r.BytesSent = binary.LittleEndian.Uint64(b[60:])
+	r.BytesRcvd = binary.LittleEndian.Uint64(b[68:])
+	return r, nil
+}
+
+// Writer streams records in the binary wire format onto an io.Writer,
+// buffering internally. Call Flush before relying on the output.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int
+}
+
+// NewWriter returns a Writer emitting onto w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10), buf: make([]byte, 0, WireSize)}
+}
+
+// Write encodes and buffers one record.
+func (w *Writer) Write(r Record) error {
+	w.buf = AppendBinary(w.buf[:0], r)
+	if _, err := w.w.Write(w.buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered frames to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams records in the binary wire format from an io.Reader.
+type Reader struct {
+	r   *bufio.Reader
+	buf [WireSize]byte
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Read decodes the next record. It returns io.EOF at a clean end of stream
+// and io.ErrUnexpectedEOF on a truncated frame.
+func (r *Reader) Read() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, io.ErrUnexpectedEOF
+	}
+	return DecodeBinary(r.buf[:])
+}

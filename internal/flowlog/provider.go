@@ -1,0 +1,104 @@
+package flowlog
+
+import "time"
+
+// Provider describes how one public cloud exposes connection summaries:
+// Table 3 of the paper. AggInterval is the summarization period;
+// PacketSample and FlowSample are the fractions of packets and flows that
+// survive provider-side sampling (1.0 = unsampled); PricePerGB is the
+// collection cost used for COGS accounting.
+type Provider struct {
+	Name        string
+	LogName     string
+	AggInterval time.Duration
+	PacketSample float64
+	FlowSample   float64
+	PricePerGB   float64
+}
+
+// The three provider profiles from Table 3. GCP samples 3% of packets within
+// 50% of flows; Azure and AWS emit unsampled one-minute summaries. All three
+// charge on the order of $0.5/GB collected.
+var (
+	Azure = Provider{Name: "Azure", LogName: "NSG Flow Logs", AggInterval: time.Minute, PacketSample: 1, FlowSample: 1, PricePerGB: 0.5}
+	AWS   = Provider{Name: "AWS", LogName: "VPC Flow Logs", AggInterval: time.Minute, PacketSample: 1, FlowSample: 1, PricePerGB: 0.5}
+	GCP   = Provider{Name: "GCP", LogName: "VPC Flow Logs", AggInterval: 5 * time.Second, PacketSample: 0.03, FlowSample: 0.50, PricePerGB: 0.5}
+)
+
+// Providers lists the Table 3 profiles in paper order.
+func Providers() []Provider { return []Provider{Azure, AWS, GCP} }
+
+// Sampler applies a provider's sampling policy to a record stream. Flow
+// selection is deterministic per flow key (a sampled flow stays sampled for
+// its lifetime, as providers do), and packet sampling scales the counters by
+// the sampling rate, mimicking count estimation from sampled packets.
+type Sampler struct {
+	p    Provider
+	seed uint64
+}
+
+// NewSampler returns a sampler for provider p. seed varies which flows are
+// selected; the same seed always selects the same flows, so experiments are
+// reproducible across processes.
+func NewSampler(p Provider, seed uint64) *Sampler {
+	return &Sampler{p: p, seed: seed}
+}
+
+// fnv64 hashes the flow key with the sampler's seed using FNV-1a, which is
+// deterministic across processes (unlike hash/maphash seeds).
+func fnv64(k FlowKey, seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime
+		}
+	}
+	a16 := k.A.Addr().As16()
+	b16 := k.B.Addr().As16()
+	mix(a16[:])
+	mix(b16[:])
+	mix([]byte{byte(k.A.Port()), byte(k.A.Port() >> 8), byte(k.B.Port()), byte(k.B.Port() >> 8)})
+	return h
+}
+
+// Sample applies the provider policy to one record. The boolean reports
+// whether the record survives flow sampling; when it does, the returned
+// record has its packet and byte counters scaled down by the packet sampling
+// rate and then re-inflated, modelling the estimate a provider publishes
+// from sampled packets (so totals remain comparable, but per-record values
+// quantize).
+func (s *Sampler) Sample(r Record) (Record, bool) {
+	if s.p.FlowSample < 1 {
+		h := fnv64(r.Key(), s.seed)
+		// Keep the flow if its hash falls below the sampling fraction.
+		if float64(h>>11)/float64(1<<53) >= s.p.FlowSample {
+			return Record{}, false
+		}
+	}
+	if s.p.PacketSample < 1 {
+		r.PacketsSent = inflate(r.PacketsSent, s.p.PacketSample)
+		r.PacketsRcvd = inflate(r.PacketsRcvd, s.p.PacketSample)
+		r.BytesSent = inflate(r.BytesSent, s.p.PacketSample)
+		r.BytesRcvd = inflate(r.BytesRcvd, s.p.PacketSample)
+	}
+	return r, true
+}
+
+// inflate simulates sampling v at rate p and scaling the observed count back
+// up: the result is v quantized to multiples of 1/p, which is what a
+// sampling provider reports.
+func inflate(v uint64, p float64) uint64 {
+	sampled := uint64(float64(v) * p)
+	return uint64(float64(sampled) / p)
+}
+
+// CollectionCost returns the provider's charge in dollars for n records.
+func (p Provider) CollectionCost(n int) float64 {
+	gb := float64(n) * WireSize / 1e9
+	return gb * p.PricePerGB
+}

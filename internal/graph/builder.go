@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"net/netip"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+)
+
+// BuilderOptions configures a Builder.
+type BuilderOptions struct {
+	// Facet selects node granularity. Default FacetIP.
+	Facet Facet
+	// Interval is the telemetry aggregation interval used to bucket
+	// deduplication state and time series. Default one minute.
+	Interval time.Duration
+	// KeepSeries records a per-interval Sample on every directed edge.
+	KeepSeries bool
+	// Label maps addresses to service names; required for FacetService.
+	Label Labeler
+}
+
+// pairObs merges the (up to two) reports of one flow during one interval:
+// an intra-subscription flow is logged by both endpoints' NICs with the
+// directional counters swapped, so we take the max of the two views per
+// direction (they should agree; max also tolerates a lost report).
+type pairObs struct {
+	fwdPkts, fwdBytes uint64 // key.A -> key.B
+	revPkts, revBytes uint64 // key.B -> key.A
+}
+
+// Builder constructs a Graph from a stream of connection summaries,
+// deduplicating double-reported intra-subscription flows per interval. This
+// is "naïvely a group-by-aggregation query" (§3.2) with the memory bounded
+// by the flows of the most recent interval rather than the whole window.
+//
+// Records are expected in roughly time order; a record more than one full
+// interval older than the newest seen so far may be double-counted.
+type Builder struct {
+	opts BuilderOptions
+	g    *Graph
+
+	cur      map[flowlog.FlowKey]*pairObs
+	curStart time.Time
+	records  int
+	minTime  time.Time
+	maxTime  time.Time
+}
+
+// NewBuilder returns a Builder with the given options.
+func NewBuilder(opts BuilderOptions) *Builder {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Minute
+	}
+	return &Builder{
+		opts: opts,
+		g:    New(opts.Facet),
+		cur:  make(map[flowlog.FlowKey]*pairObs),
+	}
+}
+
+// Records returns how many records have been added.
+func (b *Builder) Records() int { return b.records }
+
+// Add ingests one connection summary.
+func (b *Builder) Add(rec flowlog.Record) {
+	if !rec.Valid() {
+		return
+	}
+	start := rec.Time.Truncate(b.opts.Interval)
+	if b.curStart.IsZero() {
+		b.curStart = start
+	} else if start.After(b.curStart) {
+		b.flush()
+		b.curStart = start
+	} else if start.Before(b.curStart) {
+		// Late record: fold into the current interval rather than drop.
+		start = b.curStart
+	}
+	b.records++
+	if b.minTime.IsZero() || rec.Time.Before(b.minTime) {
+		b.minTime = rec.Time
+	}
+	if rec.Time.After(b.maxTime) {
+		b.maxTime = rec.Time
+	}
+
+	key := rec.Key()
+	obs := b.cur[key]
+	if obs == nil {
+		obs = &pairObs{}
+		b.cur[key] = obs
+	}
+	// Orient the record's counters along the canonical key direction.
+	local := netip.AddrPortFrom(rec.LocalIP, rec.LocalPort)
+	if local == key.A {
+		obs.fwdPkts = max64(obs.fwdPkts, rec.PacketsSent)
+		obs.fwdBytes = max64(obs.fwdBytes, rec.BytesSent)
+		obs.revPkts = max64(obs.revPkts, rec.PacketsRcvd)
+		obs.revBytes = max64(obs.revBytes, rec.BytesRcvd)
+	} else {
+		obs.fwdPkts = max64(obs.fwdPkts, rec.PacketsRcvd)
+		obs.fwdBytes = max64(obs.fwdBytes, rec.BytesRcvd)
+		obs.revPkts = max64(obs.revPkts, rec.PacketsSent)
+		obs.revBytes = max64(obs.revBytes, rec.BytesSent)
+	}
+}
+
+// node maps one endpoint to a graph node under the builder's facet.
+func (b *Builder) node(ap netip.AddrPort) Node {
+	switch b.opts.Facet {
+	case FacetIPPort:
+		return IPPortNode(ap.Addr(), ap.Port())
+	case FacetService:
+		if b.opts.Label != nil {
+			if name := b.opts.Label(ap.Addr()); name != "" {
+				return ServiceNode(name)
+			}
+		}
+		return ServiceNode(ap.Addr().String())
+	default:
+		return IPNode(ap.Addr())
+	}
+}
+
+// nodePair maps both endpoints of a flow, handling facets that need to see
+// the pair together: FacetEndpoint keys the service side (lower port) by
+// {IP, port} and the client side by IP.
+func (b *Builder) nodePair(a, z netip.AddrPort) (Node, Node) {
+	if b.opts.Facet != FacetEndpoint {
+		return b.node(a), b.node(z)
+	}
+	if a.Port() <= z.Port() {
+		return IPPortNode(a.Addr(), a.Port()), IPNode(z.Addr())
+	}
+	return IPNode(a.Addr()), IPPortNode(z.Addr(), z.Port())
+}
+
+// flush folds the current interval's deduplicated flows into the graph.
+func (b *Builder) flush() {
+	if len(b.cur) == 0 {
+		return
+	}
+	type dirKey struct{ src, dst Node }
+	interval := make(map[dirKey]Counters, len(b.cur))
+	for key, obs := range b.cur {
+		a, z := b.nodePair(key.A, key.B)
+		if a == z {
+			// Facet merged both endpoints (e.g. two ports of one IP in
+			// a FacetService graph): keep as a self-loop-free no-op.
+			continue
+		}
+		fwd := interval[dirKey{a, z}]
+		fwd.Bytes += obs.fwdBytes
+		fwd.Packets += obs.fwdPkts
+		fwd.Conns++ // one distinct flow, attributed to the canonical direction
+		interval[dirKey{a, z}] = fwd
+
+		rev := interval[dirKey{z, a}]
+		rev.Bytes += obs.revBytes
+		rev.Packets += obs.revPkts
+		interval[dirKey{z, a}] = rev
+	}
+	for k, c := range interval {
+		if c == (Counters{}) {
+			continue
+		}
+		e := b.g.addDirected(k.src, k.dst, c)
+		if b.opts.KeepSeries {
+			e.Series = append(e.Series, Sample{Start: b.curStart, Counters: c})
+		}
+	}
+	clear(b.cur)
+}
+
+// Finish flushes pending state and returns the completed graph. The builder
+// can keep accepting records afterwards, contributing to the same graph.
+func (b *Builder) Finish() *Graph {
+	b.flush()
+	b.g.Start = b.minTime.Truncate(b.opts.Interval)
+	if !b.maxTime.IsZero() {
+		b.g.End = b.maxTime.Truncate(b.opts.Interval).Add(b.opts.Interval)
+	}
+	return b.g
+}
+
+// Build is a convenience that constructs a graph from a record slice.
+func Build(recs []flowlog.Record, opts BuilderOptions) *Graph {
+	b := NewBuilder(opts)
+	for _, r := range recs {
+		b.Add(r)
+	}
+	return b.Finish()
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

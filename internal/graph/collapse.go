@@ -1,0 +1,77 @@
+package graph
+
+// CollapseOptions configures heavy-hitter collapsing.
+type CollapseOptions struct {
+	// Threshold is the minimum share (of total bytes, packets or
+	// connections — any one suffices) a node must contribute to stay
+	// distinct. The paper uses 0.1% (0.001).
+	Threshold float64
+	// Keep, when non-nil, marks nodes that are never collapsed regardless
+	// of traffic share — typically the monitored VMs of the subscription.
+	Keep func(Node) bool
+}
+
+// DefaultCollapseThreshold is the paper's 0.1% rule (§3.2).
+const DefaultCollapseThreshold = 0.001
+
+// Collapse returns a new graph in which every node below the traffic-share
+// threshold is merged into the single Collapsed node. This is the paper's
+// mitigation for the many-remote-IPs problem: "remote IPs and ephemeral
+// ports that do not individually account for a sizable share of traffic are
+// collapsed together" (§3.2). Edge time series are not preserved on the
+// collapsed graph.
+func (g *Graph) Collapse(opts CollapseOptions) *Graph {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultCollapseThreshold
+	}
+	total := g.TotalTraffic()
+	keep := make(map[Node]bool, len(g.nodes))
+	for n := range g.nodes {
+		keep[n] = g.significant(n, total, opts)
+	}
+	out := New(g.Facet)
+	out.Start, out.End = g.Start, g.End
+	for n, k := range keep {
+		if k {
+			out.AddNode(n)
+		}
+	}
+	mapNode := func(n Node) Node {
+		if keep[n] {
+			return n
+		}
+		return Collapsed
+	}
+	for src, m := range g.out {
+		ms := mapNode(src)
+		for dst, e := range m {
+			md := mapNode(dst)
+			if ms == md {
+				// Traffic entirely inside the collapse bucket (or a
+				// self-loop) disappears, like the paper's aggregate node.
+				continue
+			}
+			out.addDirected(ms, md, e.Counters)
+		}
+	}
+	return out
+}
+
+// significant reports whether n exceeds the share threshold on any metric,
+// or is protected by Keep.
+func (g *Graph) significant(n Node, total Counters, opts CollapseOptions) bool {
+	if opts.Keep != nil && opts.Keep(n) {
+		return true
+	}
+	// Each unit of traffic involves two endpoints, so a node's share is
+	// computed against the total (node strength sums to 2x total).
+	check := func(strength, tot uint64) bool {
+		if tot == 0 {
+			return false
+		}
+		return float64(strength) >= opts.Threshold*float64(2*tot)
+	}
+	return check(g.NodeStrength(n, Bytes), total.Bytes) ||
+		check(g.NodeStrength(n, Packets), total.Packets) ||
+		check(g.NodeStrength(n, Conns), total.Conns)
+}

@@ -1,0 +1,69 @@
+package graph
+
+import "sort"
+
+// Delta captures what changed between two graphs of the same facet — the
+// paper's "what changed?" historical analysis (§1, "Dynamic").
+type Delta struct {
+	AddedNodes   []Node
+	RemovedNodes []Node
+	AddedPairs   []UndirectedEdge // pairs that communicate only in the new graph
+	RemovedPairs []UndirectedEdge // pairs that communicate only in the old graph
+	// ByteChange is the relative L1 change in pairwise byte counts:
+	// sum |new - old| / max(1, sum old), a scalar drift score.
+	ByteChange float64
+}
+
+// Diff computes the delta from old to new.
+func Diff(old, new *Graph) Delta {
+	var d Delta
+	for n := range new.nodes {
+		if _, ok := old.nodes[n]; !ok {
+			d.AddedNodes = append(d.AddedNodes, n)
+		}
+	}
+	for n := range old.nodes {
+		if _, ok := new.nodes[n]; !ok {
+			d.RemovedNodes = append(d.RemovedNodes, n)
+		}
+	}
+	sort.Slice(d.AddedNodes, func(i, j int) bool { return d.AddedNodes[i].Less(d.AddedNodes[j]) })
+	sort.Slice(d.RemovedNodes, func(i, j int) bool { return d.RemovedNodes[i].Less(d.RemovedNodes[j]) })
+
+	type pair struct{ a, b Node }
+	oldPairs := make(map[pair]uint64)
+	for _, e := range old.UndirectedEdges() {
+		oldPairs[pair{e.A, e.B}] = e.Bytes
+	}
+	var l1 float64
+	var oldTotal float64
+	for _, v := range oldPairs {
+		oldTotal += float64(v)
+	}
+	seen := make(map[pair]bool)
+	for _, e := range new.UndirectedEdges() {
+		p := pair{e.A, e.B}
+		seen[p] = true
+		if oldBytes, ok := oldPairs[p]; ok {
+			diff := float64(e.Bytes) - float64(oldBytes)
+			if diff < 0 {
+				diff = -diff
+			}
+			l1 += diff
+		} else {
+			d.AddedPairs = append(d.AddedPairs, e)
+			l1 += float64(e.Bytes)
+		}
+	}
+	for _, e := range old.UndirectedEdges() {
+		if !seen[pair{e.A, e.B}] {
+			d.RemovedPairs = append(d.RemovedPairs, e)
+			l1 += float64(e.Bytes)
+		}
+	}
+	if oldTotal < 1 {
+		oldTotal = 1
+	}
+	d.ByteChange = l1 / oldTotal
+	return d
+}

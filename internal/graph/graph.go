@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"sort"
+	"time"
+)
+
+// Counters is one direction's worth of traffic between a node pair.
+type Counters struct {
+	Bytes   uint64
+	Packets uint64
+	Conns   uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Bytes += o.Bytes
+	c.Packets += o.Packets
+	c.Conns += o.Conns
+}
+
+// Get returns the counter selected by m.
+func (c Counters) Get(m Metric) uint64 {
+	switch m {
+	case Bytes:
+		return c.Bytes
+	case Packets:
+		return c.Packets
+	default:
+		return c.Conns
+	}
+}
+
+// Sample is one aggregation interval of an edge's time series.
+type Sample struct {
+	Start time.Time
+	Counters
+}
+
+// Edge is the directed traffic from one node to another, with the summed
+// counters and, when the builder is configured to keep them, the
+// per-interval time series (§1: "embed timeseries in the node and edge
+// attributes of one graph").
+type Edge struct {
+	Counters
+	Series []Sample
+}
+
+// Graph is a communication graph over one time window. Edges are stored
+// directed (out[src][dst] carries what src sent to dst); undirected views
+// are derived. The zero value is not usable; call New.
+type Graph struct {
+	Facet  Facet
+	Start  time.Time
+	End    time.Time
+	out    map[Node]map[Node]*Edge
+	in     map[Node]map[Node]*Edge
+	nodes  map[Node]struct{}
+	edges  int // number of unordered connected pairs
+}
+
+// New returns an empty graph with the given facet.
+func New(f Facet) *Graph {
+	return &Graph{
+		Facet: f,
+		out:   make(map[Node]map[Node]*Edge),
+		in:    make(map[Node]map[Node]*Edge),
+		nodes: make(map[Node]struct{}),
+	}
+}
+
+// addDirected accumulates counters onto the directed edge src->dst, creating
+// nodes and the edge as needed, and returns the edge.
+func (g *Graph) addDirected(src, dst Node, c Counters) *Edge {
+	g.nodes[src] = struct{}{}
+	g.nodes[dst] = struct{}{}
+	m := g.out[src]
+	if m == nil {
+		m = make(map[Node]*Edge)
+		g.out[src] = m
+	}
+	e := m[dst]
+	if e == nil {
+		e = &Edge{}
+		m[dst] = e
+		im := g.in[dst]
+		if im == nil {
+			im = make(map[Node]*Edge)
+			g.in[dst] = im
+		}
+		im[src] = e
+		// A new unordered pair is connected iff the reverse edge did
+		// not already exist.
+		if rev := g.out[dst]; rev == nil || rev[src] == nil {
+			g.edges++
+		}
+	}
+	e.Counters.Add(c)
+	return e
+}
+
+// AddEdge accumulates counters onto the directed edge src->dst. It is the
+// low-level mutation used by the builder and by tests.
+func (g *Graph) AddEdge(src, dst Node, c Counters) { g.addDirected(src, dst, c) }
+
+// AddNode ensures n exists even if isolated.
+func (g *Graph) AddNode(n Node) { g.nodes[n] = struct{}{} }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of unordered communicating pairs, the quantity
+// Table 1 reports.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// HasNode reports whether n is in the graph.
+func (g *Graph) HasNode(n Node) bool {
+	_, ok := g.nodes[n]
+	return ok
+}
+
+// Nodes returns all nodes in deterministic order.
+func (g *Graph) Nodes() []Node {
+	ns := make([]Node, 0, len(g.nodes))
+	for n := range g.nodes {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].Less(ns[j]) })
+	return ns
+}
+
+// OutEdge returns the directed edge src->dst, or nil.
+func (g *Graph) OutEdge(src, dst Node) *Edge {
+	if m := g.out[src]; m != nil {
+		return m[dst]
+	}
+	return nil
+}
+
+// PairCounters returns the total traffic between a and b in both directions.
+func (g *Graph) PairCounters(a, b Node) Counters {
+	var c Counters
+	if e := g.OutEdge(a, b); e != nil {
+		c.Add(e.Counters)
+	}
+	if e := g.OutEdge(b, a); e != nil {
+		c.Add(e.Counters)
+	}
+	return c
+}
+
+// Neighbors returns the set of nodes n exchanges traffic with in either
+// direction. The returned map is freshly allocated.
+func (g *Graph) Neighbors(n Node) map[Node]struct{} {
+	set := make(map[Node]struct{})
+	for dst := range g.out[n] {
+		set[dst] = struct{}{}
+	}
+	for src := range g.in[n] {
+		set[src] = struct{}{}
+	}
+	return set
+}
+
+// Degree returns the undirected degree of n.
+func (g *Graph) Degree(n Node) int { return len(g.Neighbors(n)) }
+
+// NodeStrength returns the total traffic n exchanges (sent + received) under
+// metric m — its row+column sum in the adjacency matrix.
+func (g *Graph) NodeStrength(n Node, m Metric) uint64 {
+	var total uint64
+	for _, e := range g.out[n] {
+		total += e.Get(m)
+	}
+	for _, e := range g.in[n] {
+		total += e.Get(m)
+	}
+	return total
+}
+
+// TotalTraffic returns the summed edge counters over the whole graph.
+func (g *Graph) TotalTraffic() Counters {
+	var total Counters
+	for _, m := range g.out {
+		for _, e := range m {
+			total.Add(e.Counters)
+		}
+	}
+	return total
+}
+
+// UndirectedEdge is one unordered communicating pair with combined traffic.
+type UndirectedEdge struct {
+	A, B Node
+	Counters
+}
+
+// UndirectedEdges returns every unordered pair with combined counters, in
+// deterministic order.
+func (g *Graph) UndirectedEdges() []UndirectedEdge {
+	edges := make([]UndirectedEdge, 0, g.edges)
+	for src, m := range g.out {
+		for dst, e := range m {
+			// Emit each unordered pair once: from the lesser node, or
+			// from src when the reverse edge doesn't exist.
+			if dst.Less(src) {
+				if rm := g.out[dst]; rm != nil && rm[src] != nil {
+					continue // reverse edge will emit it
+				}
+			}
+			ue := UndirectedEdge{A: src, B: dst, Counters: e.Counters}
+			if rev := g.OutEdge(dst, src); rev != nil {
+				ue.Counters.Add(rev.Counters)
+			}
+			if dst.Less(src) {
+				ue.A, ue.B = ue.B, ue.A
+			}
+			edges = append(edges, ue)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A.Less(edges[j].A)
+		}
+		return edges[i].B.Less(edges[j].B)
+	})
+	return edges
+}
+
+// EachOut calls fn for every directed edge. Iteration order is unspecified;
+// use Nodes/UndirectedEdges when determinism matters.
+func (g *Graph) EachOut(fn func(src, dst Node, e *Edge)) {
+	for src, m := range g.out {
+		for dst, e := range m {
+			fn(src, dst, e)
+		}
+	}
+}
+
+// Subgraph returns the induced subgraph over keep, sharing edge pointers
+// with g (it is a view for analysis, not an independent copy).
+func (g *Graph) Subgraph(keep map[Node]bool) *Graph {
+	sub := New(g.Facet)
+	sub.Start, sub.End = g.Start, g.End
+	for n := range g.nodes {
+		if keep[n] {
+			sub.AddNode(n)
+		}
+	}
+	for src, m := range g.out {
+		if !keep[src] {
+			continue
+		}
+		for dst, e := range m {
+			if keep[dst] {
+				sub.addDirected(src, dst, e.Counters)
+			}
+		}
+	}
+	return sub
+}
+
+// Density returns edges / possible undirected pairs.
+func (g *Graph) Density() float64 {
+	n := len(g.nodes)
+	if n < 2 {
+		return 0
+	}
+	return float64(g.edges) / (float64(n) * float64(n-1) / 2)
+}

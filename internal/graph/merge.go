@@ -1,0 +1,28 @@
+package graph
+
+import "sort"
+
+// Merge folds other's nodes, edges and series into g. Counters accumulate;
+// series are concatenated and re-sorted by interval start. Both graphs must
+// share a facet; the window expands to cover both. Merge is how parallel
+// partial aggregations (internal/ingest) combine into one graph.
+func (g *Graph) Merge(other *Graph) {
+	for n := range other.nodes {
+		g.AddNode(n)
+	}
+	other.EachOut(func(src, dst Node, e *Edge) {
+		me := g.addDirected(src, dst, e.Counters)
+		if len(e.Series) > 0 {
+			me.Series = append(me.Series, e.Series...)
+			sort.Slice(me.Series, func(i, j int) bool {
+				return me.Series[i].Start.Before(me.Series[j].Start)
+			})
+		}
+	})
+	if g.Start.IsZero() || (!other.Start.IsZero() && other.Start.Before(g.Start)) {
+		g.Start = other.Start
+	}
+	if other.End.After(g.End) {
+		g.End = other.End
+	}
+}

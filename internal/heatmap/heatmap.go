@@ -1,0 +1,105 @@
+// Package heatmap renders adjacency matrices the way Figures 4 and 5 of
+// the paper display them: entries are byte counts, normalized and
+// color-coded in log scale, so chatty cliques appear as blocks and hubs as
+// bands. Output formats are ASCII art (for terminals and docs) and binary
+// PGM (viewable in any image tool), both stdlib-only.
+package heatmap
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ramp is the ASCII intensity ramp, dark to bright.
+const ramp = " .:-=+*#%@"
+
+// logScale maps v into [0,1] on a log axis spanning `decades` below max.
+func logScale(v, max float64, decades float64) float64 {
+	if v <= 0 || max <= 0 {
+		return 0
+	}
+	l := math.Log10(v/max)/decades + 1 // v==max -> 1; max/10^decades -> 0
+	if l < 0 {
+		return 0
+	}
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+// downsample reduces an n×n matrix to at most size×size by max-pooling, so
+// big graphs stay legible; max (not mean) preserves thin bands.
+func downsample(m []float64, n, size int) ([]float64, int) {
+	if n <= size {
+		return m, n
+	}
+	out := make([]float64, size*size)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			i0, i1 := i*n/size, (i+1)*n/size
+			j0, j1 := j*n/size, (j+1)*n/size
+			var mx float64
+			for r := i0; r < i1; r++ {
+				for c := j0; c < j1; c++ {
+					if m[r*n+c] > mx {
+						mx = m[r*n+c]
+					}
+				}
+			}
+			out[i*size+j] = mx
+		}
+	}
+	return out, size
+}
+
+// ASCII renders the matrix as ASCII art at most maxSize characters wide,
+// log-scaled over 6 decades like the paper's color bars.
+func ASCII(m []float64, n, maxSize int) string {
+	if n == 0 {
+		return "(empty)\n"
+	}
+	if maxSize <= 0 {
+		maxSize = 64
+	}
+	d, size := downsample(m, n, maxSize)
+	var max float64
+	for _, v := range d {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	b.Grow(size * (size + 1))
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			idx := int(logScale(d[i*size+j], max, 6) * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PGM renders the matrix as a binary (P5) PGM image, one pixel per entry,
+// log-scaled over 6 decades. The result can be written directly to a file.
+func PGM(m []float64, n int) []byte {
+	if n == 0 {
+		n = 1
+		m = []float64{0}
+	}
+	var max float64
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	header := fmt.Sprintf("P5\n%d %d\n255\n", n, n)
+	out := make([]byte, 0, len(header)+n*n)
+	out = append(out, header...)
+	for _, v := range m {
+		out = append(out, byte(logScale(v, max, 6)*255))
+	}
+	return out
+}

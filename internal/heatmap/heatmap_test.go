@@ -1,0 +1,89 @@
+package heatmap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLogScale(t *testing.T) {
+	if v := logScale(100, 100, 6); v != 1 {
+		t.Errorf("max scales to %v, want 1", v)
+	}
+	if v := logScale(0, 100, 6); v != 0 {
+		t.Errorf("zero scales to %v, want 0", v)
+	}
+	if v := logScale(100e-7, 100, 6); v > 1e-9 {
+		t.Errorf("six decades down scales to %v, want 0", v)
+	}
+	mid := logScale(100e-3, 100, 6) // three decades down
+	if mid < 0.49 || mid > 0.51 {
+		t.Errorf("three decades down = %v, want ~0.5", mid)
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	// Bright diagonal on a dark field.
+	n := 8
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		m[i*n+i] = 1000
+	}
+	art := ASCII(m, n, 16)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != n {
+		t.Fatalf("lines = %d, want %d", len(lines), n)
+	}
+	for i, line := range lines {
+		if line[i] != '@' {
+			t.Errorf("diagonal (%d,%d) = %q, want '@'", i, i, line[i])
+		}
+		for j := 0; j < n; j++ {
+			if j != i && line[j] != ' ' {
+				t.Errorf("off-diagonal (%d,%d) = %q, want ' '", i, j, line[j])
+			}
+		}
+	}
+}
+
+func TestASCIIDownsamples(t *testing.T) {
+	n := 100
+	m := make([]float64, n*n)
+	m[0] = 5 // single hot pixel must survive max-pooling
+	art := ASCII(m, n, 10)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("downsampled lines = %d, want 10", len(lines))
+	}
+	if lines[0][0] != '@' {
+		t.Errorf("hot pixel lost in downsampling: %q", lines[0][0])
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	if got := ASCII(nil, 0, 10); got != "(empty)\n" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestPGMFormat(t *testing.T) {
+	m := []float64{0, 10, 10, 0}
+	img := PGM(m, 2)
+	if !bytes.HasPrefix(img, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad header: %q", img[:12])
+	}
+	pixels := img[len("P5\n2 2\n255\n"):]
+	if len(pixels) != 4 {
+		t.Fatalf("pixel count = %d", len(pixels))
+	}
+	if pixels[0] != 0 || pixels[1] != 255 {
+		t.Errorf("pixels = %v", pixels)
+	}
+}
+
+func TestPGMDegenerate(t *testing.T) {
+	img := PGM(nil, 0)
+	if !bytes.HasPrefix(img, []byte("P5\n1 1\n255\n")) {
+		t.Errorf("degenerate PGM header wrong: %q", img)
+	}
+}

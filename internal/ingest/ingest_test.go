@@ -1,0 +1,213 @@
+package ingest
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+)
+
+var t0 = time.Unix(1700000000, 0).UTC().Truncate(time.Minute)
+
+func rec(local, remote netip.Addr, lport, rport uint16, bytes uint64, ts time.Time) flowlog.Record {
+	return flowlog.Record{
+		Time: ts, LocalIP: local, LocalPort: lport, RemoteIP: remote, RemotePort: rport,
+		PacketsSent: bytes / 1460, BytesSent: bytes, PacketsRcvd: 1, BytesRcvd: 100,
+	}
+}
+
+func TestPipelineMatchesSerialBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	addrs := make([]netip.Addr, 20)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 1, byte(i + 1)})
+	}
+	var recs []flowlog.Record
+	for minute := 0; minute < 5; minute++ {
+		ts := t0.Add(time.Duration(minute) * time.Minute)
+		for f := 0; f < 500; f++ {
+			a, b := addrs[rng.Intn(len(addrs))], addrs[rng.Intn(len(addrs))]
+			if a == b {
+				continue
+			}
+			r := rec(a, b, uint16(30000+rng.Intn(1000)), 443, uint64(1000+rng.Intn(5000)), ts)
+			recs = append(recs, r)
+			if rng.Intn(2) == 0 { // double-report half the flows
+				recs = append(recs, r.Reverse())
+			}
+		}
+	}
+	serial := graph.Build(recs, graph.BuilderOptions{Facet: graph.FacetIP})
+
+	p := NewPipeline(4, graph.BuilderOptions{Facet: graph.FacetIP})
+	for i := 0; i < len(recs); i += 97 {
+		end := i + 97
+		if end > len(recs) {
+			end = len(recs)
+		}
+		p.Ingest(recs[i:end])
+	}
+	parallel, report := p.Close()
+
+	if parallel.NumNodes() != serial.NumNodes() {
+		t.Errorf("nodes: parallel %d vs serial %d", parallel.NumNodes(), serial.NumNodes())
+	}
+	if parallel.NumEdges() != serial.NumEdges() {
+		t.Errorf("edges: parallel %d vs serial %d", parallel.NumEdges(), serial.NumEdges())
+	}
+	pt, st := parallel.TotalTraffic(), serial.TotalTraffic()
+	if pt != st {
+		t.Errorf("traffic: parallel %+v vs serial %+v", pt, st)
+	}
+	if report.Records != int64(len(recs)) {
+		t.Errorf("meter records = %d, want %d", report.Records, len(recs))
+	}
+	if report.Workers != 4 {
+		t.Errorf("workers = %d", report.Workers)
+	}
+}
+
+func TestPipelineShardingKeepsFlowTogether(t *testing.T) {
+	// The same flow key must always shard to the same worker, or dedup
+	// breaks: verify via exact byte totals with double reports.
+	a, b := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	p := NewPipeline(8, graph.BuilderOptions{Facet: graph.FacetIP})
+	r := rec(a, b, 30001, 443, 1000, t0)
+	p.Ingest([]flowlog.Record{r})
+	p.Ingest([]flowlog.Record{r.Reverse()}) // arrives in a later batch
+	g, _ := p.Close()
+	if got := g.PairCounters(graph.IPNode(a), graph.IPNode(b)).Bytes; got != 1100 {
+		t.Errorf("pair bytes = %d, want 1100 (dedup across batches)", got)
+	}
+}
+
+func TestPipelineSingleWorker(t *testing.T) {
+	a, b := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	p := NewPipeline(0, graph.BuilderOptions{Facet: graph.FacetIP})
+	p.Ingest([]flowlog.Record{rec(a, b, 1, 2, 500, t0)})
+	g, rep := p.Close()
+	if g.NumEdges() != 1 || rep.Workers != 1 {
+		t.Errorf("single-worker pipeline broken: %d edges, %d workers", g.NumEdges(), rep.Workers)
+	}
+}
+
+func TestPipelineIngestAfterCloseIsNoop(t *testing.T) {
+	p := NewPipeline(2, graph.BuilderOptions{})
+	g, _ := p.Close()
+	p.Ingest([]flowlog.Record{rec(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), 1, 2, 10, t0)})
+	g2, _ := p.Close()
+	if g.NumNodes() != 0 || g2.NumNodes() != 0 {
+		t.Error("Ingest after Close should not add records")
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	a, b := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.9.9.9")
+	k := flowlog.Record{LocalIP: a, LocalPort: 5, RemoteIP: b, RemotePort: 6}.Key()
+	s := shardOf(k, 7)
+	for i := 0; i < 10; i++ {
+		if shardOf(k, 7) != s {
+			t.Fatal("shardOf not deterministic")
+		}
+	}
+	rev := flowlog.Record{LocalIP: b, LocalPort: 6, RemoteIP: a, RemotePort: 5}.Key()
+	if shardOf(rev, 7) != s {
+		t.Error("reverse report shards differently")
+	}
+}
+
+func TestSpaceSavingExact(t *testing.T) {
+	// With capacity >= distinct keys, counts are exact.
+	s := NewSpaceSaving(10)
+	n1 := graph.ServiceNode("a")
+	n2 := graph.ServiceNode("b")
+	s.Add(n1, 100)
+	s.Add(n2, 50)
+	s.Add(n1, 25)
+	if c, e, ok := s.Estimate(n1); !ok || c != 125 || e != 0 {
+		t.Errorf("Estimate(a) = %d,%d,%v", c, e, ok)
+	}
+	if s.Total() != 175 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}
+
+func TestSpaceSavingGuarantee(t *testing.T) {
+	// Any key with true share > 1/k must be tracked.
+	rng := rand.New(rand.NewSource(3))
+	s := NewSpaceSaving(50)
+	heavy := graph.ServiceNode("heavy")
+	truth := make(map[graph.Node]uint64)
+	for i := 0; i < 100_000; i++ {
+		var n graph.Node
+		if rng.Intn(10) == 0 {
+			n = heavy
+		} else {
+			n = graph.ServiceNode(string(rune('a' + rng.Intn(26))) + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))))
+		}
+		s.Add(n, 1)
+		truth[n]++
+	}
+	c, errBound, ok := s.Estimate(heavy)
+	if !ok {
+		t.Fatal("heavy key not tracked despite ~10% share")
+	}
+	if c < truth[heavy] {
+		t.Errorf("space-saving underestimated: %d < true %d", c, truth[heavy])
+	}
+	if c-errBound > truth[heavy] {
+		t.Errorf("count - err = %d exceeds true count %d", c-errBound, truth[heavy])
+	}
+	hh := s.Heavy(0.05)
+	if len(hh) == 0 || hh[0].Node != heavy {
+		t.Errorf("Heavy(0.05) should lead with the heavy key: %+v", hh)
+	}
+}
+
+func TestSpaceSavingCapacityBound(t *testing.T) {
+	s := NewSpaceSaving(8)
+	for i := 0; i < 1000; i++ {
+		s.Add(graph.IPNode(netip.AddrFrom4([4]byte{1, 1, byte(i >> 8), byte(i)})), 1)
+	}
+	if s.Len() > 8 {
+		t.Errorf("sketch grew to %d entries, cap 8", s.Len())
+	}
+}
+
+func TestSpaceSavingHeavyDeterministicOrder(t *testing.T) {
+	s := NewSpaceSaving(10)
+	s.Add(graph.ServiceNode("x"), 5)
+	s.Add(graph.ServiceNode("y"), 5)
+	h := s.Heavy(0)
+	if len(h) != 2 || !h[0].Node.Less(h[1].Node) {
+		t.Errorf("ties should break by node order: %+v", h)
+	}
+}
+
+func TestMeterAndCores(t *testing.T) {
+	m := NewMeter()
+	m.Observe(600)
+	r := m.Snapshot()
+	if r.Records != 600 || r.Bytes != int64(600*flowlog.WireSize) {
+		t.Errorf("meter = %+v", r)
+	}
+	r.WorkerBusy = 6 * time.Second
+	r.Records = 600
+	// 10ms busy per record; 60 records/min live => 0.6s busy per minute
+	// => 0.01 cores.
+	got := r.CoresForLive(60)
+	if got < 0.0099 || got > 0.0101 {
+		t.Errorf("CoresForLive = %v, want 0.01", got)
+	}
+	pct := r.SurchargePct(60, 100, 8)
+	want := 100 * (0.01 / 8) / 100
+	if pct < want*0.99 || pct > want*1.01 {
+		t.Errorf("SurchargePct = %v, want %v", pct, want)
+	}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,112 @@
+package ingest
+
+import (
+	"container/heap"
+	"sort"
+
+	"cloudgraph/internal/graph"
+)
+
+// SpaceSaving is the classic Metwally et al. top-k sketch: it tracks at most
+// k counters and guarantees that any node whose true count exceeds total/k
+// is present, with bounded overestimation. The streaming graph generator
+// uses it to decide online which remote nodes are heavy hitters and which
+// collapse into the aggregate node (§3.2), without holding per-node state
+// for the whole address space.
+type SpaceSaving struct {
+	k       int
+	entries map[graph.Node]*ssEntry
+	heap    ssHeap
+	total   uint64
+}
+
+type ssEntry struct {
+	node  graph.Node
+	count uint64
+	err   uint64 // maximum overestimation
+	index int    // heap index
+}
+
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int            { return len(h) }
+func (h ssHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *ssHeap) Push(x any)         { e := x.(*ssEntry); e.index = len(*h); *h = append(*h, e) }
+func (h *ssHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewSpaceSaving returns a sketch tracking at most k nodes (k>=1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, entries: make(map[graph.Node]*ssEntry, k)}
+}
+
+// Add credits inc to node.
+func (s *SpaceSaving) Add(node graph.Node, inc uint64) {
+	s.total += inc
+	if e, ok := s.entries[node]; ok {
+		e.count += inc
+		heap.Fix(&s.heap, e.index)
+		return
+	}
+	if len(s.entries) < s.k {
+		e := &ssEntry{node: node, count: inc}
+		s.entries[node] = e
+		heap.Push(&s.heap, e)
+		return
+	}
+	// Evict the minimum: the newcomer inherits its count as error bound.
+	min := s.heap[0]
+	delete(s.entries, min.node)
+	e := &ssEntry{node: node, count: min.count + inc, err: min.count}
+	s.entries[node] = e
+	s.heap[0] = e
+	e.index = 0
+	heap.Fix(&s.heap, 0)
+}
+
+// Total returns the sum of all increments seen.
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// Estimate returns the (over)estimate for node and whether it is tracked.
+func (s *SpaceSaving) Estimate(node graph.Node) (count, errBound uint64, ok bool) {
+	e, found := s.entries[node]
+	if !found {
+		return 0, 0, false
+	}
+	return e.count, e.err, true
+}
+
+// HeavyHitter is one tracked node with its estimated count.
+type HeavyHitter struct {
+	Node  graph.Node
+	Count uint64
+	Err   uint64
+}
+
+// Heavy returns every tracked node whose estimated share of the total is at
+// least threshold, largest first — the set the streaming collapse keeps.
+func (s *SpaceSaving) Heavy(threshold float64) []HeavyHitter {
+	var out []HeavyHitter
+	if s.total == 0 {
+		return out
+	}
+	floor := threshold * float64(s.total)
+	for _, e := range s.entries {
+		if float64(e.count) >= floor {
+			out = append(out, HeavyHitter{Node: e.node, Count: e.count, Err: e.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Node.Less(out[j].Node)
+	})
+	return out
+}
+
+// Len returns the number of tracked nodes.
+func (s *SpaceSaving) Len() int { return len(s.entries) }

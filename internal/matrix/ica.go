@@ -1,0 +1,230 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// FastICA (Hyvärinen's fixed-point algorithm) for the paper's footnote 6:
+// "Similar results hold when using independent components, e.g., FastICA,
+// instead of PCA's eigen vectors." The rows of the (symmetrized) adjacency
+// matrix are treated as n observations of n-dimensional traffic vectors;
+// the data is centered, whitened through the top-k PCA subspace, and the
+// fixed-point iteration with the tanh nonlinearity extracts k maximally
+// non-Gaussian components. Because whitening restricts ICA to the rank-k
+// PCA subspace, the rank-k reconstruction error necessarily matches PCA's —
+// which is exactly the footnote's observation; what ICA adds is a rotated,
+// often more interpretable basis of traffic patterns.
+
+// ICA is a fitted FastICA decomposition.
+type ICA struct {
+	N, K int
+	// Mean is the per-column mean removed before whitening.
+	Mean []float64
+	// Whitening (n×k) maps centered rows into the whitened space;
+	// Dewhitening (k×n) maps back.
+	Whitening, Dewhitening []float64
+	// W is the k×k orthonormal unmixing matrix found by FastICA.
+	W []float64
+	// Sources is the n×k matrix of independent components per row.
+	Sources []float64
+	// Iterations actually used per component.
+	Iterations int
+	// Converged reports whether every component reached tolerance.
+	Converged bool
+}
+
+// ErrRankTooSmall is returned when the matrix has fewer than k significant
+// eigenvalues to whiten against.
+var ErrRankTooSmall = errors.New("matrix: insufficient rank for requested components")
+
+// FastICA fits k independent components to the symmetric n×n matrix m.
+// The seed makes the random initialization reproducible.
+func FastICA(m []float64, n, k, maxIter int, seed int64) (*ICA, error) {
+	if len(m) != n*n {
+		return nil, ErrNotSquare
+	}
+	if k <= 0 || k > n {
+		return nil, ErrRankTooSmall
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+
+	// Center columns.
+	mean := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += m[i*n+j]
+		}
+		mean[j] = s / float64(n)
+	}
+	x := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x[i*n+j] = m[i*n+j] - mean[j]
+		}
+	}
+
+	// Whiten via the covariance eigendecomposition. For symmetric
+	// centered X, cov = XᵀX/n is symmetric PSD.
+	cov := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += x[r*n+i] * x[r*n+j]
+			}
+			s /= float64(n)
+			cov[i*n+j] = s
+			cov[j*n+i] = s
+		}
+	}
+	vals, vecs, err := EigenSym(cov, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		if vals[i] <= 1e-12 {
+			return nil, ErrRankTooSmall
+		}
+	}
+	// Whitening: columns of V_k scaled by λ^{-1/2}; dewhitening scaled by λ^{1/2}.
+	wh := make([]float64, n*k)
+	dw := make([]float64, k*n)
+	for j := 0; j < k; j++ {
+		s := math.Sqrt(vals[j])
+		for i := 0; i < n; i++ {
+			v := vecs[i*n+j]
+			wh[i*k+j] = v / s
+			dw[j*n+i] = v * s
+		}
+	}
+	// Z = X · Wh  (n×k), unit covariance.
+	z := mulRect(x, n, n, wh, k)
+
+	// Fixed-point iteration with symmetric-ish deflation (Gram-Schmidt).
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, k*k) // rows are unmixing vectors in whitened space
+	ica := &ICA{N: n, K: k, Mean: mean, Whitening: wh, Dewhitening: dw, Converged: true}
+	const tol = 1e-6
+	for c := 0; c < k; c++ {
+		wc := make([]float64, k)
+		for i := range wc {
+			wc[i] = rng.NormFloat64()
+		}
+		normalize(wc)
+		converged := false
+		iter := 0
+		for ; iter < maxIter; iter++ {
+			next := make([]float64, k)
+			var gPrimeMean float64
+			for r := 0; r < n; r++ {
+				row := z[r*k : (r+1)*k]
+				u := Dot(wc, row)
+				g := math.Tanh(u)
+				gp := 1 - g*g
+				gPrimeMean += gp
+				for i := 0; i < k; i++ {
+					next[i] += row[i] * g
+				}
+			}
+			for i := 0; i < k; i++ {
+				next[i] = next[i]/float64(n) - gPrimeMean/float64(n)*wc[i]
+			}
+			// Deflate against previously found components.
+			for p := 0; p < c; p++ {
+				prev := w[p*k : (p+1)*k]
+				d := Dot(next, prev)
+				for i := 0; i < k; i++ {
+					next[i] -= d * prev[i]
+				}
+			}
+			normalize(next)
+			// Convergence: |<w, w'>| close to 1.
+			if math.Abs(math.Abs(Dot(next, wc))-1) < tol {
+				copy(wc, next)
+				converged = true
+				break
+			}
+			copy(wc, next)
+		}
+		if !converged {
+			ica.Converged = false
+		}
+		if iter+1 > ica.Iterations {
+			ica.Iterations = iter + 1
+		}
+		copy(w[c*k:(c+1)*k], wc)
+	}
+	ica.W = w
+	// Sources S = Z·Wᵀ (n×k).
+	wt := transpose(w, k, k)
+	ica.Sources = mulRect(z, n, k, wt, k)
+	return ica, nil
+}
+
+// Reconstruct maps the sources back through the ICA pipeline:
+// X̂ = S·W·Dewhiten + mean. Because W is orthonormal this equals the rank-k
+// PCA reconstruction of the centered data (see package comment).
+func (ica *ICA) Reconstruct() []float64 {
+	n, k := ica.N, ica.K
+	// Ẑ = S·W (n×k), then X̂c = Ẑ·Dw (n×n), then add means back.
+	zhat := mulRect(ica.Sources, n, k, ica.W, k)
+	xc := mulRect(zhat, n, k, ica.Dewhitening, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			xc[i*n+j] += ica.Mean[j]
+		}
+	}
+	return xc
+}
+
+// ReconErr returns the paper's normalized L1 reconstruction error of the
+// ICA pipeline against the original matrix.
+func (ica *ICA) ReconErr(original []float64) float64 {
+	return ReconErr(original, ica.Reconstruct())
+}
+
+// mulRect multiplies a (ra×ca) by b (ca×cb), both row-major.
+func mulRect(a []float64, ra, ca int, b []float64, cb int) []float64 {
+	out := make([]float64, ra*cb)
+	for i := 0; i < ra; i++ {
+		arow := a[i*ca : (i+1)*ca]
+		orow := out[i*cb : (i+1)*cb]
+		for t, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[t*cb : (t+1)*cb]
+			for j := 0; j < cb; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// transpose returns the r×c matrix transposed.
+func transpose(a []float64, r, c int) []float64 {
+	out := make([]float64, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out[j*r+i] = a[i*c+j]
+		}
+	}
+	return out
+}
+
+// normalize scales v to unit length (no-op on the zero vector).
+func normalize(v []float64) {
+	n := math.Sqrt(Dot(v, v))
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

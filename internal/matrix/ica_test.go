@@ -1,0 +1,134 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blockMatrix builds a symmetric community-structured matrix with noise.
+func blockMatrix(rng *rand.Rand, n, blocks int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.Float64() * 0.05
+			if i*blocks/n == j*blocks/n {
+				v += 4 + rng.Float64()
+			}
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+	}
+	return a
+}
+
+func TestFastICAMatchesPCAReconstruction(t *testing.T) {
+	// Footnote 6: independent components give similar reconstruction to
+	// PCA's eigenvectors — by construction they share the rank-k subspace.
+	rng := rand.New(rand.NewSource(8))
+	n, k := 40, 6
+	m := blockMatrix(rng, n, 4)
+	p, err := NewPCA(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ica, err := FastICA(m, n, k, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcaErr := p.ReconErr(k)
+	icaErr := ica.ReconErr(m)
+	// ICA reconstructs the centered data in the PCA subspace plus the
+	// mean; both should be small and close on block matrices.
+	if icaErr > pcaErr+0.1 {
+		t.Errorf("ICA ReconErr %v much worse than PCA %v", icaErr, pcaErr)
+	}
+	if icaErr > 0.2 {
+		t.Errorf("ICA ReconErr %v too high for a 4-block matrix", icaErr)
+	}
+}
+
+func TestFastICAComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n, k := 30, 4
+	m := blockMatrix(rng, n, 3)
+	ica, err := FastICA(m, n, k, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			d := Dot(ica.W[a*k:(a+1)*k], ica.W[b*k:(b+1)*k])
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-4 {
+				t.Errorf("W row %d·%d = %v, want %v", a, b, d, want)
+			}
+		}
+	}
+}
+
+func TestFastICADeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 25
+	m := blockMatrix(rng, n, 5)
+	a, err := FastICA(m, n, 3, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FastICA(m, n, 3, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("FastICA not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestFastICAErrors(t *testing.T) {
+	if _, err := FastICA([]float64{1, 2, 3}, 2, 1, 10, 1); err != ErrNotSquare {
+		t.Errorf("want ErrNotSquare, got %v", err)
+	}
+	m := make([]float64, 16)
+	if _, err := FastICA(m, 4, 0, 10, 1); err != ErrRankTooSmall {
+		t.Errorf("k=0: want ErrRankTooSmall, got %v", err)
+	}
+	if _, err := FastICA(m, 4, 5, 10, 1); err != ErrRankTooSmall {
+		t.Errorf("k>n: want ErrRankTooSmall, got %v", err)
+	}
+	// Zero matrix has no significant eigenvalues.
+	if _, err := FastICA(m, 4, 2, 10, 1); err != ErrRankTooSmall {
+		t.Errorf("zero matrix: want ErrRankTooSmall, got %v", err)
+	}
+}
+
+func TestFastICASourcesDecorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n, k := 36, 4
+	m := blockMatrix(rng, n, 4)
+	ica, err := FastICA(m, n, k, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources should be (near) uncorrelated with unit variance.
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += ica.Sources[r*k+a] * ica.Sources[r*k+b]
+			}
+			s /= float64(n)
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(s-want) > 0.05 {
+				t.Errorf("source cov(%d,%d) = %v, want %v", a, b, s, want)
+			}
+		}
+	}
+}

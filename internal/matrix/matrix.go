@@ -1,0 +1,177 @@
+// Package matrix provides the small dense linear-algebra kernel behind the
+// paper's succinct-summary analysis (§2.2): a symmetric eigendecomposition
+// M = E·D·Eᵀ, rank-k spectral truncation Mk = Ek·Dk·Ekᵀ, and the normalized
+// reconstruction error ReconErr(M, Mk). Everything is stdlib-only; the
+// eigensolver is a cyclic Jacobi iteration, which is simple, numerically
+// robust and entirely adequate for communication graphs with a few thousand
+// nodes.
+package matrix
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotSquare is returned when a flat slice's length is not n*n.
+var ErrNotSquare = errors.New("matrix: data length is not n*n")
+
+// ErrNotSymmetric is returned by EigenSym for asymmetric input.
+var ErrNotSymmetric = errors.New("matrix: matrix is not symmetric")
+
+// symCheckTol is the relative tolerance used to verify symmetry.
+const symCheckTol = 1e-9
+
+// EigenSym computes the full eigendecomposition of the symmetric n×n matrix
+// a (row-major, not modified). It returns the eigenvalues and the matrix of
+// eigenvectors V (row-major, column j is the eigenvector of values[j]),
+// sorted by descending absolute eigenvalue — the order PCA consumes them in.
+func EigenSym(a []float64, n int) (values []float64, vectors []float64, err error) {
+	if len(a) != n*n {
+		return nil, nil, ErrNotSquare
+	}
+	// Verify symmetry relative to the largest entry.
+	var scale float64
+	for _, v := range a {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a[i*n+j]-a[j*n+i]) > symCheckTol*math.Max(scale, 1) {
+				return nil, nil, ErrNotSymmetric
+			}
+		}
+	}
+
+	// Work on a copy; initialize V to identity.
+	w := make([]float64, n*n)
+	copy(w, a)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w, n)
+		if off <= 1e-12*math.Max(scale, 1) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w[p*n+q]
+				if math.Abs(apq) <= 1e-14*math.Max(scale, 1) {
+					continue
+				}
+				app, aqq := w[p*n+p], w[q*n+q]
+				// Compute the Jacobi rotation (c, s) annihilating w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, n, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w[i*n+i]
+	}
+	order := sortByAbsDesc(values)
+	return reorder(values, v, order, n)
+}
+
+// rotate applies the two-sided Jacobi rotation on (p, q) to w and the
+// one-sided update to the eigenvector accumulator v.
+func rotate(w, v []float64, n, p, q int, c, s float64) {
+	for i := 0; i < n; i++ {
+		wip, wiq := w[i*n+p], w[i*n+q]
+		w[i*n+p] = c*wip - s*wiq
+		w[i*n+q] = s*wip + c*wiq
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w[p*n+j], w[q*n+j]
+		w[p*n+j] = c*wpj - s*wqj
+		w[q*n+j] = s*wpj + c*wqj
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v[i*n+p], v[i*n+q]
+		v[i*n+p] = c*vip - s*viq
+		v[i*n+q] = s*vip + c*viq
+	}
+}
+
+// offDiagNorm returns the Frobenius norm of the off-diagonal part.
+func offDiagNorm(a []float64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += a[i*n+j] * a[i*n+j]
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// sortByAbsDesc returns the permutation ordering values by |v| descending.
+func sortByAbsDesc(values []float64) []int {
+	order := make([]int, len(values))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort keeps this dependency-free and stable.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && math.Abs(values[order[j]]) > math.Abs(values[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// reorder permutes eigenvalues and eigenvector columns by order.
+func reorder(values, v []float64, order []int, n int) ([]float64, []float64, error) {
+	outVals := make([]float64, n)
+	outVecs := make([]float64, n*n)
+	for newJ, oldJ := range order {
+		outVals[newJ] = values[oldJ]
+		for i := 0; i < n; i++ {
+			outVecs[i*n+newJ] = v[i*n+oldJ]
+		}
+	}
+	return outVals, outVecs, nil
+}
+
+// MatVec computes y = A·x for row-major n×n A.
+func MatVec(a []float64, n int, x []float64) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := a[i*n : (i+1)*n]
+		var sum float64
+		for j, xv := range x {
+			sum += row[j] * xv
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// Column extracts column j of row-major n×n V.
+func Column(v []float64, n, j int) []float64 {
+	col := make([]float64, n)
+	for i := 0; i < n; i++ {
+		col[i] = v[i*n+j]
+	}
+	return col
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

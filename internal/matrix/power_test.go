@@ -1,0 +1,57 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTopEigenSymMatchesJacobi(t *testing.T) {
+	// Power iteration needs spectral separation to converge; build a
+	// matrix with a geometric spectrum (like real traffic matrices, whose
+	// block structure yields a few dominant, well-separated eigenvalues).
+	rng := rand.New(rand.NewSource(19))
+	n := 30
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 100 / math.Pow(2, float64(i))
+		for j := 0; j < i; j++ {
+			v := rng.NormFloat64() * 1e-3
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+	}
+	exact, _, err := EigenSym(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, vecs := TopEigenSym(a, n, 3, 500, 1)
+	for i := 0; i < 3; i++ {
+		if math.Abs(math.Abs(approx[i])-math.Abs(exact[i])) > 1e-6*(1+math.Abs(exact[i])) {
+			t.Errorf("eigenvalue %d: power %v vs jacobi %v", i, approx[i], exact[i])
+		}
+		// Residual check: ||A·v − λ·v|| small.
+		v := vecs[i*n : (i+1)*n]
+		av := MatVec(a, n, v)
+		var res float64
+		for j := 0; j < n; j++ {
+			d := av[j] - approx[i]*v[j]
+			res += d * d
+		}
+		if math.Sqrt(res) > 1e-4*(1+math.Abs(approx[i])) {
+			t.Errorf("eigenpair %d residual %v", i, math.Sqrt(res))
+		}
+	}
+}
+
+func TestTopEigenSymDegenerate(t *testing.T) {
+	vals, _ := TopEigenSym(make([]float64, 9), 3, 5, 50, 1)
+	if len(vals) != 3 {
+		t.Fatalf("k clamped wrong: %v", vals)
+	}
+	for _, v := range vals {
+		if math.Abs(v) > 1e-9 {
+			t.Errorf("zero matrix eigenvalue %v", v)
+		}
+	}
+}

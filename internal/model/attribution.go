@@ -1,0 +1,80 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/summarize"
+)
+
+// Attribution decomposes a graph's bytes into the canonical patterns of
+// §2.2 — the machinery behind executive summaries like "80% of the bytes in
+// your network are doing X". Every byte is attributed to exactly one
+// bucket, so shares sum to 1.
+type Attribution struct {
+	// CliqueShare is traffic internal to a detected chatty clique.
+	CliqueShare float64
+	// HubShare is traffic on edges touching a detected hub (and not
+	// already attributed to a clique).
+	HubShare float64
+	// CollapsedShare is traffic to/from the heavy-hitter collapse bucket
+	// (the long tail of small remote endpoints).
+	CollapsedShare float64
+	// ScatterShare is everything else.
+	ScatterShare float64
+	// Headline is the rendered executive summary.
+	Headline string
+}
+
+// Attribute computes the byte decomposition.
+func Attribute(g *graph.Graph) Attribution {
+	var a Attribution
+	total := float64(g.TotalTraffic().Bytes)
+	if total == 0 {
+		a.Headline = "no traffic"
+		return a
+	}
+	cliqueMember := make(map[graph.Node]int)
+	for i, c := range summarize.ChattyCliques(g, 3, 0.5, 0.01) {
+		for _, m := range c.Members {
+			cliqueMember[m] = i + 1
+		}
+	}
+	hub := make(map[graph.Node]bool)
+	for _, h := range summarize.Hubs(g, 0.5) {
+		hub[h.Node] = true
+	}
+	for _, e := range g.UndirectedEdges() {
+		bytes := float64(e.Bytes)
+		switch {
+		case e.A.IsCollapsed() || e.B.IsCollapsed():
+			a.CollapsedShare += bytes
+		case cliqueMember[e.A] != 0 && cliqueMember[e.A] == cliqueMember[e.B]:
+			a.CliqueShare += bytes
+		case hub[e.A] || hub[e.B]:
+			a.HubShare += bytes
+		default:
+			a.ScatterShare += bytes
+		}
+	}
+	a.CliqueShare /= total
+	a.HubShare /= total
+	a.CollapsedShare /= total
+	a.ScatterShare /= total
+
+	type part struct {
+		name  string
+		share float64
+	}
+	parts := []part{
+		{"chatty-clique traffic", a.CliqueShare},
+		{"hub-and-spoke traffic", a.HubShare},
+		{"long-tail remote traffic", a.CollapsedShare},
+		{"scattered point-to-point traffic", a.ScatterShare},
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].share > parts[j].share })
+	a.Headline = fmt.Sprintf("%.0f%% of the bytes in your network are %s (then %.0f%% %s)",
+		100*parts[0].share, parts[0].name, 100*parts[1].share, parts[1].name)
+	return a
+}

@@ -1,0 +1,122 @@
+package nicsim
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Burst sketches: §3.1's open issue notes that connection summaries carry
+// no sub-interval information, and "pushing sketches into programmable NICs
+// may be needed to capture information that is absent in a connection
+// summary such as burst statistics". BurstTracker is such a sketch: per
+// flow, it slices the aggregation interval into small buckets and keeps
+// only the running bucket and the peak — two counters and a timestamp of
+// extra NIC state per flow, exported on a separate path from the Table 2
+// summaries (which stay unchanged).
+
+// BurstStat is one flow's burst summary for an interval.
+type BurstStat struct {
+	LocalPort  uint16
+	Remote     netip.AddrPort
+	// PeakBytes is the largest byte count observed in any bucket.
+	PeakBytes uint64
+	// TotalBytes is the interval's total (matching the flow summary).
+	TotalBytes uint64
+	// Bucket is the sketch's bucket width.
+	Bucket time.Duration
+	// Burstiness is PeakBytes / (TotalBytes · bucket/interval): 1 for a
+	// perfectly smooth flow, approaching interval/bucket for a flow that
+	// sends everything in one bucket.
+	Burstiness float64
+}
+
+// burstState is the per-flow sketch state.
+type burstState struct {
+	curBucket int64
+	curBytes  uint64
+	peakBytes uint64
+	total     uint64
+}
+
+// BurstTracker augments a VNIC with per-flow burst sketches.
+type BurstTracker struct {
+	bucket   time.Duration
+	interval time.Duration
+	flows    map[flowKey]*burstState
+}
+
+// burstEntrySize models the extra NIC memory per flow for the sketch.
+const burstEntrySize = 8 * 4
+
+// NewBurstTracker returns a tracker slicing interval into buckets of the
+// given width (default interval/60, i.e. per-second buckets for one-minute
+// summaries).
+func NewBurstTracker(interval, bucket time.Duration) *BurstTracker {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	if bucket <= 0 || bucket > interval {
+		bucket = interval / 60
+	}
+	return &BurstTracker{bucket: bucket, interval: interval, flows: make(map[flowKey]*burstState)}
+}
+
+// Observe records bytes sent on a flow at time now.
+func (t *BurstTracker) Observe(localPort uint16, remote netip.AddrPort, bytes uint64, now time.Time) {
+	k := flowKey{localPort: localPort, remote: remote}
+	st := t.flows[k]
+	if st == nil {
+		st = &burstState{curBucket: -1}
+		t.flows[k] = st
+	}
+	b := now.UnixNano() / int64(t.bucket)
+	if b != st.curBucket {
+		if st.curBytes > st.peakBytes {
+			st.peakBytes = st.curBytes
+		}
+		st.curBucket = b
+		st.curBytes = 0
+	}
+	st.curBytes += bytes
+	st.total += bytes
+}
+
+// Drain emits the interval's burst stats (sorted for determinism) and
+// resets the sketch.
+func (t *BurstTracker) Drain() []BurstStat {
+	out := make([]BurstStat, 0, len(t.flows))
+	buckets := float64(t.interval) / float64(t.bucket)
+	for k, st := range t.flows {
+		if st.curBytes > st.peakBytes {
+			st.peakBytes = st.curBytes
+		}
+		if st.total == 0 {
+			continue
+		}
+		smooth := float64(st.total) / buckets
+		out = append(out, BurstStat{
+			LocalPort:  k.localPort,
+			Remote:     k.remote,
+			PeakBytes:  st.peakBytes,
+			TotalBytes: st.total,
+			Bucket:     t.bucket,
+			Burstiness: float64(st.peakBytes) / smooth,
+		})
+	}
+	clear(t.flows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if c := a.Remote.Addr().Compare(b.Remote.Addr()); c != 0 {
+			return c < 0
+		}
+		if a.Remote.Port() != b.Remote.Port() {
+			return a.Remote.Port() < b.Remote.Port()
+		}
+		return a.LocalPort < b.LocalPort
+	})
+	return out
+}
+
+// MemoryFootprint models the sketch's extra NIC memory.
+func (t *BurstTracker) MemoryFootprint() int { return len(t.flows) * burstEntrySize }

@@ -1,0 +1,79 @@
+package nicsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestBurstTrackerSmoothVsBursty(t *testing.T) {
+	tr := NewBurstTracker(time.Minute, time.Second)
+	remote := netip.AddrPortFrom(ext, 443)
+	// Smooth flow: 100 bytes every second for 60s.
+	for s := 0; s < 60; s++ {
+		tr.Observe(1000, remote, 100, t0.Add(time.Duration(s)*time.Second))
+	}
+	// Bursty flow: 6000 bytes all in one second.
+	tr.Observe(2000, remote, 6000, t0.Add(30*time.Second))
+
+	stats := tr.Drain()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d, want 2", len(stats))
+	}
+	var smooth, bursty *BurstStat
+	for i := range stats {
+		switch stats[i].LocalPort {
+		case 1000:
+			smooth = &stats[i]
+		case 2000:
+			bursty = &stats[i]
+		}
+	}
+	if smooth == nil || bursty == nil {
+		t.Fatal("missing flows")
+	}
+	if smooth.TotalBytes != 6000 || bursty.TotalBytes != 6000 {
+		t.Errorf("totals = %d, %d, want 6000 each", smooth.TotalBytes, bursty.TotalBytes)
+	}
+	// Same totals, radically different burstiness.
+	if smooth.Burstiness > 1.5 {
+		t.Errorf("smooth burstiness = %v, want ~1", smooth.Burstiness)
+	}
+	if bursty.Burstiness < 50 {
+		t.Errorf("bursty burstiness = %v, want ~60", bursty.Burstiness)
+	}
+	if bursty.PeakBytes != 6000 || smooth.PeakBytes != 100 {
+		t.Errorf("peaks = %d, %d", bursty.PeakBytes, smooth.PeakBytes)
+	}
+}
+
+func TestBurstTrackerDrainResets(t *testing.T) {
+	tr := NewBurstTracker(time.Minute, time.Second)
+	tr.Observe(1, netip.AddrPortFrom(ext, 80), 500, t0)
+	if got := tr.Drain(); len(got) != 1 {
+		t.Fatalf("first drain = %d", len(got))
+	}
+	if got := tr.Drain(); len(got) != 0 {
+		t.Errorf("second drain = %d, want 0", len(got))
+	}
+	if tr.MemoryFootprint() != 0 {
+		t.Errorf("memory after drain = %d", tr.MemoryFootprint())
+	}
+}
+
+func TestBurstTrackerMemoryProportional(t *testing.T) {
+	tr := NewBurstTracker(time.Minute, 0) // default bucket
+	for i := 0; i < 50; i++ {
+		tr.Observe(uint16(1000+i), netip.AddrPortFrom(ext, 443), 10, t0)
+	}
+	if got, want := tr.MemoryFootprint(), 50*burstEntrySize; got != want {
+		t.Errorf("memory = %d, want %d", got, want)
+	}
+}
+
+func TestBurstTrackerDefaults(t *testing.T) {
+	tr := NewBurstTracker(0, 0)
+	if tr.interval != time.Minute || tr.bucket != time.Second {
+		t.Errorf("defaults = %v / %v", tr.interval, tr.bucket)
+	}
+}

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"net/netip"
+	"testing"
+
+	"cloudgraph/internal/graph"
+)
+
+func TestChurnOnMove(t *testing.T) {
+	g, assign, nodes := fixture()
+	r := Learn(g, assign)
+	// Move be1 from segment 1 (backends) to segment 2 (db).
+	rep := r.ChurnOnMove(nodes["be1"], 2)
+	if rep.From != 1 || rep.To != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Segments reaching 1: {0, 2}; reaching 2: {1}. Touched VMs: members
+	// of 0 (fe1, fe2), 2 (db1) and 1 minus the mover (be2) = 4, plus the
+	// mover's own table = 5.
+	if rep.IPRuleUpdates != 5 {
+		t.Errorf("IPRuleUpdates = %d, want 5", rep.IPRuleUpdates)
+	}
+	// Peer sets differ ({0,2} vs {1}), so: retag + own table = 2.
+	if rep.TagUpdates != 2 {
+		t.Errorf("TagUpdates = %d, want 2", rep.TagUpdates)
+	}
+	if rep.TagUpdates >= rep.IPRuleUpdates {
+		t.Error("tags should churn less than per-IP rules")
+	}
+}
+
+func TestChurnNoopCases(t *testing.T) {
+	g, assign, nodes := fixture()
+	r := Learn(g, assign)
+	if rep := r.ChurnOnMove(nodes["fe1"], 0); rep.IPRuleUpdates != 0 || rep.TagUpdates != 0 {
+		t.Errorf("same-segment move should be free: %+v", rep)
+	}
+	stranger := graph.IPNode(netip.MustParseAddr("203.0.113.9"))
+	if rep := r.ChurnOnMove(stranger, 1); rep.IPRuleUpdates != 0 {
+		t.Errorf("unknown node move should be free: %+v", rep)
+	}
+}
+
+func TestChurnScalesWithPeersNotSegments(t *testing.T) {
+	// A big fleet: two segments of n VMs that talk to each other. Moving
+	// one VM between them touches all 2n-1 peers under per-IP rules but
+	// stays O(1) under tags.
+	const n = 50
+	g := graph.New(graph.FacetIP)
+	assign := make(map[graph.Node]int)
+	var a0 graph.Node
+	for i := 0; i < n; i++ {
+		a := graph.IPNode(netip.AddrFrom4([4]byte{10, 9, 0, byte(i + 1)}))
+		b := graph.IPNode(netip.AddrFrom4([4]byte{10, 9, 1, byte(i + 1)}))
+		if i == 0 {
+			a0 = a
+		}
+		assign[a] = 0
+		assign[b] = 1
+		g.AddEdge(a, b, graph.Counters{Bytes: 10})
+	}
+	r := Learn(g, assign)
+	rep := r.ChurnOnMove(a0, 1)
+	if rep.IPRuleUpdates != 2*n {
+		t.Errorf("IPRuleUpdates = %d, want %d", rep.IPRuleUpdates, 2*n)
+	}
+	if rep.TagUpdates > 2 {
+		t.Errorf("TagUpdates = %d, want O(1)", rep.TagUpdates)
+	}
+}

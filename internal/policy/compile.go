@@ -1,0 +1,104 @@
+package policy
+
+import "sort"
+
+// Compilation targets: clouds enforce policies as rule tables on the path
+// in and out of each VM, with a hard budget ("no more than 10³ rules at a
+// VM", §2.1). Unrolling segment-pair allows into per-remote-IP rules
+// explodes quadratically; compiling to dynamic tags — one rule per allowed
+// peer segment, matched against a tag carried in the packet — keeps tables
+// tiny. This file quantifies both.
+
+// DefaultRuleLimit is the per-VM rule budget from the paper.
+const DefaultRuleLimit = 1000
+
+// RuleStats summarizes a compiled policy across the fleet.
+type RuleStats struct {
+	// PerVM is the number of rules each assigned node needs, keyed in
+	// Assignment iteration order via sorted extraction (see VMs).
+	PerVM []int
+	// Total, Max and Mean aggregate PerVM.
+	Total int
+	Max   int
+	Mean  float64
+	// OverLimit counts VMs whose table exceeds limit.
+	OverLimit int
+	Limit     int
+}
+
+// CompileIPRules unrolls the policy to per-VM allow rules on remote IPs:
+// a VM in segment s needs one rule per member of every segment it may talk
+// to. This is the naïve compilation current clouds support.
+func (r *Reachability) CompileIPRules(limit int) RuleStats {
+	if limit <= 0 {
+		limit = DefaultRuleLimit
+	}
+	segs := r.Assign.Segments()
+	sizes := make([]int, len(segs))
+	for i, members := range segs {
+		sizes[i] = len(members)
+	}
+	// Rules for a VM in segment s: Σ over allowed (s,t) of |t| (minus
+	// itself for t == s).
+	perSeg := make([]int, len(segs))
+	for s := range segs {
+		total := 0
+		for t := range segs {
+			if r.Allowed[pairOf(s, t)] {
+				total += sizes[t]
+				if t == s {
+					total--
+				}
+			}
+		}
+		perSeg[s] = total
+	}
+	return ruleStats(r, perSeg, limit)
+}
+
+// CompileTagRules compiles the policy assuming the network virtualization
+// layer matches on dynamic per-segment tags: a VM needs one rule per
+// allowed peer segment, independent of segment sizes — the paper's
+// mitigation for rule explosion (and for churn when µsegment labels
+// change, since membership updates no longer rewrite every peer's table).
+func (r *Reachability) CompileTagRules(limit int) RuleStats {
+	if limit <= 0 {
+		limit = DefaultRuleLimit
+	}
+	segs := r.Assign.Segments()
+	perSeg := make([]int, len(segs))
+	for s := range segs {
+		count := 0
+		for t := range segs {
+			if r.Allowed[pairOf(s, t)] {
+				count++
+			}
+		}
+		perSeg[s] = count
+	}
+	return ruleStats(r, perSeg, limit)
+}
+
+// ruleStats expands per-segment rule counts to per-VM stats.
+func ruleStats(r *Reachability, perSeg []int, limit int) RuleStats {
+	st := RuleStats{Limit: limit}
+	segs := r.Assign.Segments()
+	for s, members := range segs {
+		for range members {
+			n := perSeg[s]
+			st.PerVM = append(st.PerVM, n)
+			st.Total += n
+			if n > st.Max {
+				st.Max = n
+			}
+			if n > limit {
+				st.OverLimit++
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(st.PerVM)))
+	if len(st.PerVM) > 0 {
+		st.Mean = float64(st.Total) / float64(len(st.PerVM))
+	}
+	return st
+}

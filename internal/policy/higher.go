@@ -1,0 +1,296 @@
+package policy
+
+import (
+	"sort"
+
+	"cloudgraph/internal/graph"
+)
+
+// Higher-order policies (§2.1): pure reachability flags every new segment
+// pair, but some changes are benign. If a code change makes *all* the VMs
+// of a µsegment start talking to a new service, the cohort still behaves
+// uniformly — a similarity-based policy suppresses that alert. If traffic
+// to a backend grows because incoming requests grew, the change is
+// proportional — a proportionality-based policy distinguishes the flash
+// crowd from an exfiltration-style unilateral surge.
+
+// CohortChange describes a disallowed segment pair observed in a new
+// window, with how much of the source cohort exhibits it.
+type CohortChange struct {
+	Pair SegPair
+	// Fraction is members-exhibiting / members-total, computed on the
+	// side of the pair with the larger fraction.
+	Fraction float64
+	// Members is the number of distinct nodes participating.
+	Members int
+	// Suppressed is true when the similarity policy decided the change
+	// is a uniform cohort behavior change, not a breach.
+	Suppressed bool
+	// Violations lists the underlying node pairs.
+	Violations []Violation
+}
+
+// SimilarityPolicy wraps a reachability policy with cohort-uniformity
+// suppression.
+type SimilarityPolicy struct {
+	R *Reachability
+	// MinCohortFraction is the fraction of a segment's members that must
+	// exhibit a new behavior for it to count as a uniform change (0.8 by
+	// default).
+	MinCohortFraction float64
+}
+
+// Evaluate checks a new window against the policy. It returns the cohort
+// changes (one per disallowed segment pair), each either suppressed —
+// "all of the VMs in the µsegment continue to exhibit similar behavior,
+// even though the behavior has changed" — or flagged with its violations.
+func (p SimilarityPolicy) Evaluate(next *graph.Graph) []CohortChange {
+	minFrac := p.MinCohortFraction
+	if minFrac <= 0 {
+		minFrac = 0.8
+	}
+	segs := p.R.Assign.Segments()
+	type agg struct {
+		aNodes, bNodes map[graph.Node]struct{}
+		perNode        map[graph.Node]int
+		violations     []Violation
+	}
+	byPair := make(map[SegPair]*agg)
+	for _, v := range p.R.CheckGraph(next) {
+		sa, oka := p.R.Assign[v.A]
+		sb, okb := p.R.Assign[v.B]
+		if !oka || !okb {
+			continue
+		}
+		pair := pairOf(sa, sb)
+		a := byPair[pair]
+		if a == nil {
+			a = &agg{
+				aNodes:  make(map[graph.Node]struct{}),
+				bNodes:  make(map[graph.Node]struct{}),
+				perNode: make(map[graph.Node]int),
+			}
+			byPair[pair] = a
+		}
+		// Track participants on each side of the (ordered) pair.
+		if sa == pair.A {
+			a.aNodes[v.A] = struct{}{}
+			a.bNodes[v.B] = struct{}{}
+		} else {
+			a.aNodes[v.B] = struct{}{}
+			a.bNodes[v.A] = struct{}{}
+		}
+		a.perNode[v.A]++
+		a.perNode[v.B]++
+		a.violations = append(a.violations, v)
+	}
+
+	out := make([]CohortChange, 0, len(byPair))
+	for pair, a := range byPair {
+		fracA := float64(len(a.aNodes)) / float64(max(1, len(segs[pair.A])))
+		fracB := float64(len(a.bNodes)) / float64(max(1, len(segs[pair.B])))
+		// A side vouches for the change only when it is an actual cohort:
+		// at least two members moving together at the threshold fraction.
+		// A lone deviant (or a singleton segment) cannot prove uniformity.
+		vouchA := len(a.aNodes) >= 2 && fracA >= minFrac
+		vouchB := len(a.bNodes) >= 2 && fracB >= minFrac
+		frac := fracA
+		if fracB > frac {
+			frac = fracB
+		}
+		out = append(out, CohortChange{
+			Pair:       pair,
+			Fraction:   frac,
+			Members:    len(a.aNodes) + len(a.bNodes),
+			Suppressed: (vouchA || vouchB) && !starDeviant(p.R, a.perNode, len(a.violations)),
+			Violations: a.violations,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out
+}
+
+// starDeviant detects the signature of a single compromised node hiding
+// inside an apparently uniform change: one node (the star center) touches
+// far more of the new pairs than any of its own segment's other members do.
+// A genuinely uniform change is symmetric — role peers participate about
+// equally — while a scanner or lateral mover is the sole heavy actor. The
+// check is skipped when the center's segment has no other members (a
+// singleton service receiving from a broad cohort is legitimate fan-in).
+func starDeviant(r *Reachability, perNode map[graph.Node]int, totalPairs int) bool {
+	if totalPairs < 3 {
+		return false
+	}
+	segSize := make(map[int]int)
+	for n := range r.Assign {
+		segSize[r.Assign[n]]++
+	}
+	// Find the heaviest participant and the heaviest of its segment mates.
+	var center graph.Node
+	best := 0
+	for n, k := range perNode {
+		if k > best || (k == best && n.Less(center)) {
+			center, best = n, k
+		}
+	}
+	if best < 3 || float64(best) < 0.5*float64(totalPairs) {
+		return false
+	}
+	cSeg := r.Assign[center]
+	if segSize[cSeg] < 2 {
+		return false
+	}
+	mates := 0
+	for n, k := range perNode {
+		if n != center && r.Assign[n] == cSeg && k > mates {
+			mates = k
+		}
+	}
+	return mates*3 <= best
+}
+
+// ProportionalityPolicy compares traffic growth between segment pairs
+// against the typical growth of each segment's conversations: a pair whose
+// traffic surges far beyond its segment's median growth is anomalous even
+// though it is allowed, while a flash crowd lifts all of a segment's pairs
+// together and is explained away.
+type ProportionalityPolicy struct {
+	R *Reachability
+	// MaxFactor flags a pair growing more than MaxFactor times its
+	// segment's median growth (default 3).
+	MaxFactor float64
+	// MinBytes ignores pairs below this new-window volume (noise floor).
+	MinBytes uint64
+}
+
+// PairGrowth reports one allowed pair's byte growth assessment.
+type PairGrowth struct {
+	Pair         SegPair
+	BaseBytes    uint64
+	NewBytes     uint64
+	Growth       float64 // NewBytes / max(1, BaseBytes)
+	MedianGrowth float64 // median growth of pairs sharing a segment
+	Flagged      bool
+}
+
+// Evaluate compares the new window to the baseline and returns one entry
+// per allowed segment pair with traffic in either window.
+func (p ProportionalityPolicy) Evaluate(base, next *graph.Graph) []PairGrowth {
+	maxFactor := p.MaxFactor
+	if maxFactor <= 0 {
+		maxFactor = 3
+	}
+	baseBytes := p.segPairBytes(base)
+	newBytes := p.segPairBytes(next)
+
+	pairs := make(map[SegPair]struct{})
+	for pr := range baseBytes {
+		pairs[pr] = struct{}{}
+	}
+	for pr := range newBytes {
+		pairs[pr] = struct{}{}
+	}
+
+	growth := make(map[SegPair]float64, len(pairs))
+	for pr := range pairs {
+		growth[pr] = float64(newBytes[pr]) / float64(max64(1, baseBytes[pr]))
+	}
+	// Group pairs per segment so each pair can be judged against the
+	// typical growth of its segments' *other* conversations: a flash
+	// crowd lifts them all, an exfil-style surge lifts only one.
+	perSeg := make(map[int][]SegPair)
+	for pr := range growth {
+		perSeg[pr.A] = append(perSeg[pr.A], pr)
+		if pr.B != pr.A {
+			perSeg[pr.B] = append(perSeg[pr.B], pr)
+		}
+	}
+	// The reference is the traffic-weighted median growth of the other
+	// pairs touching either segment: heavy conversations define "typical
+	// growth"; a tiny heartbeat pair must not.
+	refMedian := func(pr SegPair) float64 {
+		type wg struct {
+			g float64
+			w float64
+		}
+		var others []wg
+		var totalW float64
+		for _, s := range [2]int{pr.A, pr.B} {
+			for _, q := range perSeg[s] {
+				if q != pr {
+					w := float64(max64(baseBytes[q], newBytes[q]))
+					others = append(others, wg{g: growth[q], w: w})
+					totalW += w
+				}
+			}
+			if pr.A == pr.B {
+				break
+			}
+		}
+		if len(others) == 0 || totalW == 0 {
+			return growth[pr] // no reference: never flags (g > k·g is false)
+		}
+		sort.Slice(others, func(i, j int) bool { return others[i].g < others[j].g })
+		var cum float64
+		for _, o := range others {
+			cum += o.w
+			if cum >= totalW/2 {
+				return o.g
+			}
+		}
+		return others[len(others)-1].g
+	}
+
+	out := make([]PairGrowth, 0, len(pairs))
+	for pr := range pairs {
+		g := growth[pr]
+		med := refMedian(pr)
+		pg := PairGrowth{
+			Pair: pr, BaseBytes: baseBytes[pr], NewBytes: newBytes[pr],
+			Growth: g, MedianGrowth: med,
+		}
+		if newBytes[pr] >= p.MinBytes && med > 0 && g > maxFactor*med {
+			pg.Flagged = true
+		}
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out
+}
+
+// segPairBytes aggregates a graph's bytes per assigned segment pair.
+func (p ProportionalityPolicy) segPairBytes(g *graph.Graph) map[SegPair]uint64 {
+	out := make(map[SegPair]uint64)
+	for _, e := range g.UndirectedEdges() {
+		sa, oka := p.R.Assign[e.A]
+		sb, okb := p.R.Assign[e.B]
+		if oka && okb {
+			out[pairOf(sa, sb)] += e.Bytes
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,319 @@
+// Package store persists communication-graph windows to disk, the "store"
+// box of the Figure 8 architecture: the telemetry is continuous, so an
+// administrator needs "up-to-date views while also being able to do
+// historical analysis such as 'what changed?' or 'what happened during that
+// (past) event?'" (§1). Windows append to a single file in a compact
+// binary format; readers can stream every window or load a time range.
+//
+// Format: a 16-byte file header (magic, version), then one length-prefixed
+// window record per graph. Within a window: facet, start/end, the node
+// table (deduplicated, referenced by index), then directed edges with
+// counters. Edge time series are not persisted — the per-window graphs ARE
+// the retained time series at window granularity.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"time"
+
+	"cloudgraph/internal/graph"
+)
+
+var magic = [8]byte{'c', 'g', 'r', 'a', 'p', 'h', '0', '1'}
+
+// ErrBadFormat is returned for corrupt or foreign files.
+var ErrBadFormat = errors.New("store: bad file format")
+
+// Writer appends window graphs to a store file.
+type Writer struct {
+	f  *os.File
+	w  *bufio.Writer
+	n  int
+}
+
+// Create opens (or creates) a store file for appending. A new file gets the
+// header; an existing file is validated.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(magic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		var pad [8]byte
+		if _, err := f.Write(pad[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		var got [8]byte
+		if _, err := io.ReadFull(f, got[:]); err != nil || got != magic {
+			f.Close()
+			return nil, ErrBadFormat
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, w: bufio.NewWriterSize(f, 256<<10)}, nil
+}
+
+// Append serializes one window graph.
+func (w *Writer) Append(g *graph.Graph) error {
+	body := encodeGraph(g)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns windows appended by this writer.
+func (w *Writer) Count() int { return w.n }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// encodeGraph serializes a graph. Layout (little endian):
+//
+//	u8  facet
+//	i64 start unix, i64 end unix
+//	u32 node count, then per node: u8 kind(0 ip,1 ipport,2 name),
+//	    [16]addr, u16 port, u16 nameLen, name bytes
+//	u32 directed edge count, then per edge: u32 src, u32 dst,
+//	    u64 bytes, u64 packets, u64 conns
+func encodeGraph(g *graph.Graph) []byte {
+	nodes := g.Nodes()
+	idx := make(map[graph.Node]uint32, len(nodes))
+	buf := make([]byte, 0, 64+len(nodes)*24)
+	buf = append(buf, byte(g.Facet))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.Start.Unix()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.End.Unix()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nodes)))
+	for i, n := range nodes {
+		idx[n] = uint32(i)
+		kind := byte(0)
+		switch {
+		case n.Name != "":
+			kind = 2
+		case n.Port != 0:
+			kind = 1
+		}
+		buf = append(buf, kind)
+		a16 := n.Addr.As16()
+		if !n.Addr.IsValid() {
+			a16 = [16]byte{}
+		}
+		buf = append(buf, a16[:]...)
+		// Remember whether the address was v4 to restore faithfully.
+		if n.Addr.Is4() {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, n.Port)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Name)))
+		buf = append(buf, n.Name...)
+	}
+	type edge struct {
+		src, dst uint32
+		c        graph.Counters
+	}
+	var edges []edge
+	g.EachOut(func(src, dst graph.Node, e *graph.Edge) {
+		edges = append(edges, edge{src: idx[src], dst: idx[dst], c: e.Counters})
+	})
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(edges)))
+	for _, e := range edges {
+		buf = binary.LittleEndian.AppendUint32(buf, e.src)
+		buf = binary.LittleEndian.AppendUint32(buf, e.dst)
+		buf = binary.LittleEndian.AppendUint64(buf, e.c.Bytes)
+		buf = binary.LittleEndian.AppendUint64(buf, e.c.Packets)
+		buf = binary.LittleEndian.AppendUint64(buf, e.c.Conns)
+	}
+	return buf
+}
+
+// decodeGraph is the inverse of encodeGraph.
+func decodeGraph(b []byte) (*graph.Graph, error) {
+	r := &byteReader{b: b}
+	facet := graph.Facet(r.u8())
+	start := time.Unix(int64(r.u64()), 0).UTC()
+	end := time.Unix(int64(r.u64()), 0).UTC()
+	nNodes := int(r.u32())
+	if r.err != nil || nNodes < 0 {
+		return nil, ErrBadFormat
+	}
+	g := graph.New(facet)
+	g.Start, g.End = start, end
+	nodes := make([]graph.Node, 0, nNodes)
+	for i := 0; i < nNodes; i++ {
+		kind := r.u8()
+		var a16 [16]byte
+		copy(a16[:], r.bytes(16))
+		wasV4 := r.u8() == 1
+		port := r.u16()
+		nameLen := int(r.u16())
+		name := string(r.bytes(nameLen))
+		if r.err != nil {
+			return nil, ErrBadFormat
+		}
+		var n graph.Node
+		switch kind {
+		case 2:
+			n = graph.ServiceNode(name)
+		default:
+			addr := netip.AddrFrom16(a16)
+			if wasV4 {
+				addr = addr.Unmap()
+			}
+			if kind == 1 {
+				n = graph.IPPortNode(addr, port)
+			} else {
+				n = graph.IPNode(addr)
+			}
+		}
+		nodes = append(nodes, n)
+		g.AddNode(n)
+	}
+	nEdges := int(r.u32())
+	for i := 0; i < nEdges; i++ {
+		src, dst := int(r.u32()), int(r.u32())
+		c := graph.Counters{Bytes: r.u64(), Packets: r.u64(), Conns: r.u64()}
+		if r.err != nil || src >= len(nodes) || dst >= len(nodes) {
+			return nil, ErrBadFormat
+		}
+		g.AddEdge(nodes[src], nodes[dst], c)
+	}
+	if r.err != nil {
+		return nil, ErrBadFormat
+	}
+	return g, nil
+}
+
+// byteReader is a tiny cursor with sticky errors.
+type byteReader struct {
+	b   []byte
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.err = ErrBadFormat
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *byteReader) bytes(n int) []byte { return r.take(n) }
+func (r *byteReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Open reads a store file and returns all windows in file order. Use Range
+// to restrict by time.
+func Open(path string) ([]*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 256<<10)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil || got != magic {
+		return nil, ErrBadFormat
+	}
+	if _, err := io.CopyN(io.Discard, br, 8); err != nil {
+		return nil, ErrBadFormat
+	}
+	var out []*graph.Graph
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, ErrBadFormat
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > 1<<31 {
+			return nil, ErrBadFormat
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("%w: truncated window", ErrBadFormat)
+		}
+		g, err := decodeGraph(body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+}
+
+// Range loads only the windows overlapping [from, to).
+func Range(path string, from, to time.Time) ([]*graph.Graph, error) {
+	all, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*graph.Graph
+	for _, g := range all {
+		if g.End.After(from) && g.Start.Before(to) {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}

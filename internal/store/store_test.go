@@ -1,0 +1,191 @@
+package store
+
+import (
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/graph"
+)
+
+var t0 = time.Unix(1700000000, 0).UTC().Truncate(time.Hour)
+
+func randomGraph(rng *rand.Rand, start time.Time) *graph.Graph {
+	g := graph.New(graph.FacetIP)
+	g.Start, g.End = start, start.Add(time.Hour)
+	for i := 0; i < 20+rng.Intn(30); i++ {
+		a := graph.IPNode(netip.AddrFrom4([4]byte{10, 0, 0, byte(1 + rng.Intn(30))}))
+		b := graph.IPNode(netip.AddrFrom4([4]byte{10, 0, 1, byte(1 + rng.Intn(30))}))
+		if a == b {
+			continue
+		}
+		g.AddEdge(a, b, graph.Counters{
+			Bytes:   uint64(rng.Intn(1_000_000)),
+			Packets: uint64(rng.Intn(1000)),
+			Conns:   uint64(1 + rng.Intn(10)),
+		})
+	}
+	// A few exotic nodes: IPv6, IP-port, service, collapsed, isolated.
+	g.AddEdge(graph.IPNode(netip.MustParseAddr("2001:db8::1")), graph.Collapsed, graph.Counters{Bytes: 7})
+	g.AddEdge(graph.IPPortNode(netip.MustParseAddr("10.9.9.9"), 443), graph.ServiceNode("svc"), graph.Counters{Bytes: 9, Conns: 1})
+	g.AddNode(graph.IPNode(netip.MustParseAddr("192.0.2.200")))
+	return g
+}
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.Facet != b.Facet || !a.Start.Equal(b.Start) || !a.End.Equal(b.End) {
+		t.Fatalf("meta mismatch: %v %v-%v vs %v %v-%v", a.Facet, a.Start, a.End, b.Facet, b.Start, b.End)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	an, bn := a.Nodes(), b.Nodes()
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("node %d: %v vs %v", i, an[i], bn[i])
+		}
+	}
+	for _, n := range an {
+		for _, m := range an {
+			ae, be := a.OutEdge(n, m), b.OutEdge(n, m)
+			switch {
+			case ae == nil && be == nil:
+			case ae == nil || be == nil:
+				t.Fatalf("edge presence mismatch %v->%v", n, m)
+			case ae.Counters != be.Counters:
+				t.Fatalf("edge %v->%v: %+v vs %+v", n, m, ae.Counters, be.Counters)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "windows.cg")
+	rng := rand.New(rand.NewSource(77))
+	var want []*graph.Graph
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 5; h++ {
+		g := randomGraph(rng, t0.Add(time.Duration(h)*time.Hour))
+		want = append(want, g)
+		if err := w.Append(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("windows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		sameGraph(t, want[i], got[i])
+	}
+}
+
+func TestAppendToExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.cg")
+	rng := rand.New(rand.NewSource(5))
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(randomGraph(rng, t0))
+	w.Close()
+	w2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(randomGraph(rng, t0.Add(time.Hour)))
+	w2.Close()
+	got, err := Open(path)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("after reopen: %d windows, %v", len(got), err)
+	}
+	if !got[1].Start.Equal(t0.Add(time.Hour)) {
+		t.Errorf("second window start = %v", got[1].Start)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.cg")
+	rng := rand.New(rand.NewSource(9))
+	w, _ := Create(path)
+	for h := 0; h < 6; h++ {
+		w.Append(randomGraph(rng, t0.Add(time.Duration(h)*time.Hour)))
+	}
+	w.Close()
+	got, err := Range(path, t0.Add(2*time.Hour), t0.Add(4*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("range windows = %d, want 2", len(got))
+	}
+	if !got[0].Start.Equal(t0.Add(2 * time.Hour)) {
+		t.Errorf("first in range = %v", got[0].Start)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.cg")); err == nil {
+		t.Error("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cg")
+	os.WriteFile(bad, []byte("not a store file at all"), 0o644)
+	if _, err := Open(bad); err == nil {
+		t.Error("want error for foreign file")
+	}
+	if _, err := Create(bad); err == nil {
+		t.Error("Create on foreign file should fail")
+	}
+}
+
+func TestTruncatedWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.cg")
+	rng := rand.New(rand.NewSource(2))
+	w, _ := Create(path)
+	w.Append(randomGraph(rng, t0))
+	w.Close()
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-5], 0o644)
+	if _, err := Open(path); err == nil {
+		t.Error("want error for truncated window")
+	}
+}
+
+func TestHistoricalDiffFromStore(t *testing.T) {
+	// The §1 use case: load two past windows and ask "what changed?".
+	path := filepath.Join(t.TempDir(), "hist.cg")
+	a := graph.New(graph.FacetIP)
+	a.Start, a.End = t0, t0.Add(time.Hour)
+	a.AddEdge(graph.IPNode(netip.MustParseAddr("10.0.0.1")), graph.IPNode(netip.MustParseAddr("10.0.0.2")), graph.Counters{Bytes: 100})
+	b := graph.New(graph.FacetIP)
+	b.Start, b.End = t0.Add(time.Hour), t0.Add(2*time.Hour)
+	b.AddEdge(graph.IPNode(netip.MustParseAddr("10.0.0.1")), graph.IPNode(netip.MustParseAddr("10.0.0.9")), graph.Counters{Bytes: 500})
+	w, _ := Create(path)
+	w.Append(a)
+	w.Append(b)
+	w.Close()
+	windows, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.Diff(windows[0], windows[1])
+	if len(d.AddedPairs) != 1 || len(d.RemovedPairs) != 1 {
+		t.Errorf("historical diff = %+v", d)
+	}
+}

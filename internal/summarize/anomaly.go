@@ -1,0 +1,87 @@
+package summarize
+
+import (
+	"math"
+
+	"cloudgraph/internal/graph"
+)
+
+// Anomaly detection over a time series of graphs: the paper observes that a
+// model capturing the key patterns of a window "may also be able to
+// identify when the patterns change" (§2.2, Figure 5). We score each window
+// against its predecessor with the relative L1 matrix change and flag
+// windows whose drift exceeds the trailing baseline by several sigma.
+
+// WindowScore is one window's drift assessment.
+type WindowScore struct {
+	Index int
+	// Drift is the relative L1 change of pairwise byte counts vs the
+	// previous window (graph.Diff.ByteChange).
+	Drift float64
+	// NewPairs and LostPairs count communicating pairs that appeared or
+	// disappeared vs the previous window.
+	NewPairs  int
+	LostPairs int
+	// Anomalous is set when Drift exceeds mean + Sigma·stddev of the
+	// preceding windows' drifts (needs at least MinHistory predecessors).
+	Anomalous bool
+}
+
+// AnomalyOptions tunes the detector.
+type AnomalyOptions struct {
+	// Sigma is the threshold in standard deviations (default 3).
+	Sigma float64
+	// MinHistory is how many prior drifts are needed before flagging
+	// (default 3).
+	MinHistory int
+}
+
+// ScoreWindows scores consecutive graphs. The first window has no
+// predecessor and gets drift 0.
+func ScoreWindows(windows []*graph.Graph, opts AnomalyOptions) []WindowScore {
+	if opts.Sigma <= 0 {
+		opts.Sigma = 3
+	}
+	if opts.MinHistory <= 0 {
+		opts.MinHistory = 3
+	}
+	out := make([]WindowScore, len(windows))
+	var history []float64
+	for i := range windows {
+		out[i].Index = i
+		if i == 0 {
+			continue
+		}
+		d := graph.Diff(windows[i-1], windows[i])
+		out[i].Drift = d.ByteChange
+		out[i].NewPairs = len(d.AddedPairs)
+		out[i].LostPairs = len(d.RemovedPairs)
+		if len(history) >= opts.MinHistory {
+			mean, sd := meanStd(history)
+			if out[i].Drift > mean+opts.Sigma*sd {
+				out[i].Anomalous = true
+			}
+		}
+		if !out[i].Anomalous {
+			// Only normal windows update the baseline, so a sustained
+			// attack doesn't poison its own detector.
+			history = append(history, out[i].Drift)
+		}
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	if sd < 1e-3 {
+		sd = 1e-3 // floor: perfectly steady baselines still allow slack
+	}
+	return mean, sd
+}

@@ -1,0 +1,93 @@
+package summarize
+
+import (
+	"sort"
+
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+)
+
+// Port-fanout scan detection: when the IP-graph is dense (cluster meshes
+// already connect most VM pairs) a port scan adds no new IP edges, but it
+// explodes the set of distinct *destination ports* a source touches — the
+// kind of signal only the finer IP-port facet carries (§2.1: "segmenting
+// IP-port graphs may be more useful"). This detector works directly on the
+// connection summaries, so it needs no full IP-port graph.
+
+// PortFanout is one source's destination-port spread in a window.
+type PortFanout struct {
+	Source graph.Node
+	// DistinctPorts is the number of distinct remote ports contacted.
+	DistinctPorts int
+	// LowPorts counts distinct contacted ports below 10240 — the
+	// well-known/registered range scans sweep.
+	LowPorts int
+}
+
+// PortFanouts computes per-source port spread from raw records. Only
+// records where the source is the local (monitored) endpoint count, since
+// scans originate from breached VMs.
+func PortFanouts(recs []flowlog.Record) []PortFanout {
+	type key struct {
+		src  graph.Node
+		port uint16
+	}
+	seen := make(map[key]struct{})
+	distinct := make(map[graph.Node]int)
+	low := make(map[graph.Node]int)
+	for _, r := range recs {
+		src := graph.IPNode(r.LocalIP)
+		k := key{src: src, port: r.RemotePort}
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		distinct[src]++
+		if r.RemotePort < 10240 {
+			low[src]++
+		}
+	}
+	out := make([]PortFanout, 0, len(distinct))
+	for src, n := range distinct {
+		out = append(out, PortFanout{Source: src, DistinctPorts: n, LowPorts: low[src]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistinctPorts != out[j].DistinctPorts {
+			return out[i].DistinctPorts > out[j].DistinctPorts
+		}
+		return out[i].Source.Less(out[j].Source)
+	})
+	return out
+}
+
+// ScanSuspect is a source whose port fanout jumped against its baseline.
+type ScanSuspect struct {
+	Source       graph.Node
+	BaselinePorts int
+	WindowPorts   int
+}
+
+// DetectScans compares a window's port fanouts against a baseline window:
+// a source is suspect when it contacts at least minNewPorts more distinct
+// low ports than it did in the baseline. Sources unseen in the baseline
+// are judged against zero.
+func DetectScans(baseline, window []flowlog.Record, minNewPorts int) []ScanSuspect {
+	if minNewPorts <= 0 {
+		minNewPorts = 20
+	}
+	base := make(map[graph.Node]int)
+	for _, f := range PortFanouts(baseline) {
+		base[f.Source] = f.LowPorts
+	}
+	var out []ScanSuspect
+	for _, f := range PortFanouts(window) {
+		if f.LowPorts-base[f.Source] >= minNewPorts {
+			out = append(out, ScanSuspect{
+				Source:        f.Source,
+				BaselinePorts: base[f.Source],
+				WindowPorts:   f.LowPorts,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package summarize implements the succinct-summary analyses of §2.2:
+// CCDFs of traffic concentration (Figure 6), mining the canonical patterns
+// visible in the adjacency matrices of Figure 4 (chatty cliques, hub and
+// spoke), executive summaries ("80% of the bytes in your network are doing
+// X"), and the hour-over-hour anomaly scoring that Figure 5's timelapse
+// motivates.
+package summarize
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudgraph/internal/graph"
+)
+
+// CCDFPoint is one point of Figure 6: after sorting nodes by traffic
+// descending, the top Fraction of nodes carry 1-CCDF of the bytes; CCDF is
+// the share of total traffic NOT covered by the top Fraction of nodes.
+type CCDFPoint struct {
+	Fraction float64 // fraction of nodes (x axis)
+	CCDF     float64 // remaining traffic share (y axis, log scale in paper)
+}
+
+// CCDF computes the traffic-concentration curve for metric m: "a few nodes
+// account for most of the traffic". The curve is evaluated after each node
+// in descending-traffic order.
+func CCDF(g *graph.Graph, m graph.Metric) []CCDFPoint {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	strengths := make([]uint64, 0, len(nodes))
+	var total float64
+	for _, n := range nodes {
+		s := g.NodeStrength(n, m)
+		strengths = append(strengths, s)
+		total += float64(s)
+	}
+	sort.Slice(strengths, func(i, j int) bool { return strengths[i] > strengths[j] })
+	out := make([]CCDFPoint, 0, len(strengths))
+	var cum float64
+	for i, s := range strengths {
+		cum += float64(s)
+		ccdf := 1 - cum/total
+		if ccdf < 0 {
+			ccdf = 0
+		}
+		out = append(out, CCDFPoint{
+			Fraction: float64(i+1) / float64(len(strengths)),
+			CCDF:     ccdf,
+		})
+	}
+	return out
+}
+
+// FractionForShare returns the smallest fraction of nodes that carries at
+// least the given share of traffic — the "where to invest more capacity"
+// headline (e.g. 1% of nodes carry 90% of bytes).
+func FractionForShare(points []CCDFPoint, share float64) float64 {
+	for _, p := range points {
+		if 1-p.CCDF >= share {
+			return p.Fraction
+		}
+	}
+	return 1
+}
+
+// Hub is a hub-and-spoke pattern: one node exchanging traffic with many
+// others. Hubs are "likely to be control plane components such as job
+// managers, k8s api servers, cloud stores or telemetry sinks".
+type Hub struct {
+	Node       graph.Node
+	Degree     int
+	ByteShare  float64 // of total graph bytes
+	SpokeShare float64 // degree / (nodes-1)
+}
+
+// Hubs returns nodes whose degree covers at least minSpokeShare of the
+// graph, sorted by degree descending.
+func Hubs(g *graph.Graph, minSpokeShare float64) []Hub {
+	n := g.NumNodes()
+	if n < 3 {
+		return nil
+	}
+	total := float64(g.TotalTraffic().Bytes)
+	var out []Hub
+	for _, node := range g.Nodes() {
+		deg := g.Degree(node)
+		spoke := float64(deg) / float64(n-1)
+		if spoke >= minSpokeShare {
+			h := Hub{Node: node, Degree: deg, SpokeShare: spoke}
+			if total > 0 {
+				// Share of all bytes the hub touches (a perfect hub
+				// that is an endpoint of every edge scores 1).
+				h.ByteShare = float64(g.NodeStrength(node, graph.Bytes)) / total
+			}
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Degree != out[j].Degree {
+			return out[i].Degree > out[j].Degree
+		}
+		return out[i].Node.Less(out[j].Node)
+	})
+	return out
+}
+
+// Clique is a chatty-clique pattern: a set of nodes exchanging large
+// amounts of data among each other.
+type Clique struct {
+	Members []graph.Node
+	// InternalBytes is the traffic among members; Density is the filled
+	// fraction of member pairs.
+	InternalBytes uint64
+	Density       float64
+	// ByteShare is InternalBytes over the graph total.
+	ByteShare float64
+}
+
+// ChattyCliques finds dense heavy subgraphs greedily: seeds are the
+// heaviest edges; a seed grows by adding the node with the most bytes to
+// the current members while pair density stays above minDensity. Cliques
+// smaller than minSize or below minByteShare are dropped. The greedy
+// approach mirrors how the banded blocks of Figure 4 pop out visually.
+func ChattyCliques(g *graph.Graph, minSize int, minDensity, minByteShare float64) []Clique {
+	if minSize < 3 {
+		minSize = 3
+	}
+	total := float64(g.TotalTraffic().Bytes)
+	if total == 0 {
+		return nil
+	}
+	edges := g.UndirectedEdges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Bytes != edges[j].Bytes {
+			return edges[i].Bytes > edges[j].Bytes
+		}
+		if edges[i].A != edges[j].A {
+			return edges[i].A.Less(edges[j].A)
+		}
+		return edges[i].B.Less(edges[j].B)
+	})
+	used := make(map[graph.Node]bool)
+	var out []Clique
+	for _, seed := range edges {
+		if used[seed.A] || used[seed.B] {
+			continue
+		}
+		members := map[graph.Node]bool{seed.A: true, seed.B: true}
+		for {
+			best, bestBytes := graph.Node{}, uint64(0)
+			candidates := make(map[graph.Node]bool)
+			for m := range members {
+				for c := range g.Neighbors(m) {
+					if !members[c] && !used[c] {
+						candidates[c] = true
+					}
+				}
+			}
+			for cand := range candidates {
+				var toMembers uint64
+				links := 0
+				for m := range members {
+					c := g.PairCounters(cand, m)
+					if c.Bytes > 0 {
+						toMembers += c.Bytes
+						links++
+					}
+				}
+				// Candidate must connect to enough members to keep the
+				// grown set dense.
+				newPairs := len(members) * (len(members) + 1) / 2
+				if float64(pairsFilled(g, members)+links)/float64(newPairs) < minDensity {
+					continue
+				}
+				if toMembers > bestBytes || (toMembers == bestBytes && toMembers > 0 && cand.Less(best)) {
+					best, bestBytes = cand, toMembers
+				}
+			}
+			if bestBytes == 0 || len(members) >= 64 {
+				break
+			}
+			members[best] = true
+		}
+		if len(members) < minSize {
+			continue
+		}
+		cl := materialize(g, members, total)
+		if cl.ByteShare < minByteShare || cl.Density < minDensity {
+			continue
+		}
+		for m := range members {
+			used[m] = true
+		}
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].InternalBytes > out[j].InternalBytes })
+	return out
+}
+
+// pairsFilled counts member pairs with traffic.
+func pairsFilled(g *graph.Graph, members map[graph.Node]bool) int {
+	ms := make([]graph.Node, 0, len(members))
+	for m := range members {
+		ms = append(ms, m)
+	}
+	filled := 0
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			if g.PairCounters(ms[i], ms[j]).Bytes > 0 {
+				filled++
+			}
+		}
+	}
+	return filled
+}
+
+// materialize computes a Clique's stats.
+func materialize(g *graph.Graph, members map[graph.Node]bool, totalBytes float64) Clique {
+	ms := make([]graph.Node, 0, len(members))
+	for m := range members {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Less(ms[j]) })
+	var internal uint64
+	filled := 0
+	for i := 0; i < len(ms); i++ {
+		for j := i + 1; j < len(ms); j++ {
+			c := g.PairCounters(ms[i], ms[j])
+			internal += c.Bytes
+			if c.Bytes > 0 {
+				filled++
+			}
+		}
+	}
+	pairs := len(ms) * (len(ms) - 1) / 2
+	cl := Clique{Members: ms, InternalBytes: internal}
+	if pairs > 0 {
+		cl.Density = float64(filled) / float64(pairs)
+	}
+	if totalBytes > 0 {
+		cl.ByteShare = float64(internal) / totalBytes
+	}
+	return cl
+}
+
+// Summary is an executive summary of one graph window.
+type Summary struct {
+	Stats    graph.Stats
+	Hubs     []Hub
+	Cliques  []Clique
+	CCDF     []CCDFPoint
+	Headline string
+}
+
+// Summarize builds the full succinct summary of a graph.
+func Summarize(g *graph.Graph) Summary {
+	s := Summary{
+		Stats:   g.ComputeStats(),
+		Hubs:    Hubs(g, 0.5),
+		Cliques: ChattyCliques(g, 3, 0.5, 0.01),
+		CCDF:    CCDF(g, graph.Bytes),
+	}
+	top10 := 1 - ccdfAt(s.CCDF, 0.1)
+	var patternBytes float64
+	for _, c := range s.Cliques {
+		patternBytes += c.ByteShare
+	}
+	for _, h := range s.Hubs {
+		patternBytes += h.ByteShare
+	}
+	if patternBytes > 1 {
+		patternBytes = 1
+	}
+	s.Headline = fmt.Sprintf(
+		"%d nodes, %d edges; top 10%% of nodes carry %.0f%% of bytes; %d hub(s) and %d chatty clique(s) explain %.0f%% of traffic",
+		s.Stats.Nodes, s.Stats.Edges, 100*top10, len(s.Hubs), len(s.Cliques), 100*patternBytes)
+	return s
+}
+
+// ccdfAt interpolates the CCDF at a node fraction.
+func ccdfAt(points []CCDFPoint, frac float64) float64 {
+	for _, p := range points {
+		if p.Fraction >= frac {
+			return p.CCDF
+		}
+	}
+	if len(points) == 0 {
+		return 0
+	}
+	return points[len(points)-1].CCDF
+}
