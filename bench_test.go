@@ -6,11 +6,14 @@ package cloudgraph
 // laptop-friendly; cmd/experiments regenerates the full-scale numbers.
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/core"
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/heatmap"
@@ -127,11 +130,11 @@ func benchSegment(b *testing.B, s segment.Strategy) {
 	}
 }
 
-func BenchmarkFig1Segmentation(b *testing.B)     { benchSegment(b, segment.StrategyJaccardLouvain) }
-func BenchmarkFig3SimRank(b *testing.B)          { benchSegment(b, segment.StrategySimRank) }
-func BenchmarkFig3SimRankPP(b *testing.B)        { benchSegment(b, segment.StrategySimRankPP) }
-func BenchmarkFig3ModularityConn(b *testing.B)   { benchSegment(b, segment.StrategyModularityConn) }
-func BenchmarkFig3ModularityBytes(b *testing.B)  { benchSegment(b, segment.StrategyModularityBytes) }
+func BenchmarkFig1Segmentation(b *testing.B)    { benchSegment(b, segment.StrategyJaccardLouvain) }
+func BenchmarkFig3SimRank(b *testing.B)         { benchSegment(b, segment.StrategySimRank) }
+func BenchmarkFig3SimRankPP(b *testing.B)       { benchSegment(b, segment.StrategySimRankPP) }
+func BenchmarkFig3ModularityConn(b *testing.B)  { benchSegment(b, segment.StrategyModularityConn) }
+func BenchmarkFig3ModularityBytes(b *testing.B) { benchSegment(b, segment.StrategyModularityBytes) }
 
 // --- Figures 4/5: adjacency matrices, heatmaps and drift -------------------
 
@@ -256,6 +259,40 @@ func benchPipeline(b *testing.B, workers, batch int) {
 
 func BenchmarkAnalyticsIngest1Worker(b *testing.B)  { benchPipeline(b, 1, 8192) }
 func BenchmarkAnalyticsIngest4Workers(b *testing.B) { benchPipeline(b, 4, 8192) }
+
+// BenchmarkEngineIngestSharded drives the engine's sharded hot path from
+// GOMAXPROCS concurrent ingesters — the analytics-server picture, where
+// every client connection calls Engine.Ingest directly. With one shard all
+// of them serialize on one lock; with more shards throughput scales until
+// the hardware runs out.
+func BenchmarkEngineIngestSharded(b *testing.B) {
+	loadFixtures(b)
+	recs := fixK8s.records
+	const batch = 4096
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := core.NewEngine(core.Config{Window: time.Hour, Shards: shards})
+			var off atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(off.Add(1)-1) * batch % len(recs)
+					end := i + batch
+					if end > len(recs) {
+						end = len(recs)
+					}
+					e.Ingest(recs[i:end])
+				}
+			})
+			b.StopTimer()
+			if len(e.Flush()) == 0 {
+				b.Fatal("no windows completed")
+			}
+			b.ReportMetric(float64(int64(batch)*int64(b.N))/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
 
 // --- §2.1 rules: policy compilation -------------------------------------------
 

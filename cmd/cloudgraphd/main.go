@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -35,11 +36,12 @@ func main() {
 		collapse = flag.Float64("collapse", 0, "heavy-hitter collapse threshold (0 disables; paper uses 0.001)")
 		facet    = flag.String("facet", "ip", "graph facet: ip or ip-port")
 		maxWin   = flag.Int("max-windows", 48, "retained window history (0 = unlimited)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "ingest shards: concurrent connections fold records in parallel, one flow-key shard per worker")
 		storeTo  = flag.String("store", "", "append completed windows to this store file (graphctl history reads it)")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Window: *window, MaxWindows: *maxWin}
+	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers}
 	switch *facet {
 	case "ip":
 		cfg.Facet = graph.FacetIP
@@ -69,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (window=%v facet=%s collapse=%g)", srv.Addr(), *window, *facet, *collapse)
+	log.Printf("listening on %s (window=%v facet=%s collapse=%g workers=%d)", srv.Addr(), *window, *facet, *collapse, *workers)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,9 +5,11 @@ import (
 	"log"
 	"net/netip"
 	"runtime"
+	"sync"
 	"time"
 
 	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/core"
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/ingest"
@@ -109,7 +111,38 @@ func expFig8(e *env) {
 			workers, wall.Round(time.Millisecond), float64(len(recs))/wall.Seconds(),
 			cores, vms, surcharge)
 	}
-	fmt.Println("\nShape check: realtime graph construction for a 1000-VM subscription needs a small fraction of one VM — far below the paper's 0.5% viability bar.")
+	// The same sweep over the engine's sharded hot path: here parallelism
+	// comes from concurrent callers (analytics connections), so drive each
+	// shard count with that many ingesting goroutines.
+	fmt.Println("\n| engine shards | concurrent callers | wall time | records/sec | merge time | windows |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, shards := range workerCounts {
+		eng := core.NewEngine(core.Config{Window: time.Hour, Shards: shards})
+		t := time.Now()
+		var wg sync.WaitGroup
+		const ebatch = 8192
+		for w := 0; w < shards; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w * ebatch; i < len(recs); i += ebatch * shards {
+					end := i + ebatch
+					if end > len(recs) {
+						end = len(recs)
+					}
+					eng.Ingest(recs[i:end])
+				}
+			}(w)
+		}
+		wg.Wait()
+		windows := eng.Flush()
+		wall := time.Since(t)
+		report := eng.Cost()
+		fmt.Printf("| %d | %d | %v | %.0f | %v | %d |\n",
+			shards, shards, wall.Round(time.Millisecond), float64(len(recs))/wall.Seconds(),
+			report.Merge.Round(time.Millisecond), len(windows))
+	}
+	fmt.Println("\nShape check: realtime graph construction for a 1000-VM subscription needs a small fraction of one VM — far below the paper's 0.5% viability bar; with Config.Shards > 1 the engine sustains that rate across concurrent connections instead of serializing them on one lock.")
 }
 
 // expRules quantifies §2.1's rule explosion: unrolling µsegment policies

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"net/netip"
 	"strings"
 	"testing"
 	"time"
@@ -235,6 +236,150 @@ func TestServerConcurrentClients(t *testing.T) {
 	}
 	if stats.Records != int64(len(recs)) {
 		t.Errorf("records = %d, want %d", stats.Records, len(recs))
+	}
+}
+
+func TestServerIngestCorruptFrameKeepsProtocol(t *testing.T) {
+	// Regression: a mid-batch decode error used to return without
+	// consuming the remaining frames, so the leftover binary bytes were
+	// parsed as commands and the connection was poisoned.
+	s := testServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	valid := flowlog.Record{
+		Time: t0, LocalIP: netip.MustParseAddr("10.0.0.1"), LocalPort: 30000,
+		RemoteIP: netip.MustParseAddr("10.0.0.2"), RemotePort: 443,
+		PacketsSent: 1, BytesSent: 100,
+	}
+	frame := flowlog.AppendBinary(nil, valid)
+	corrupt := make([]byte, flowlog.WireSize) // all-zero: unspecified addresses
+
+	fmt.Fprintf(conn, "INGEST 3\n")
+	conn.Write(frame)
+	conn.Write(corrupt)
+	conn.Write(frame)
+	line, _ := r.ReadString('\n')
+	if !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("corrupt batch response = %q, want ERR", line)
+	}
+	// The stream must be command-aligned again: a valid command right
+	// after the failed batch gets its normal response.
+	fmt.Fprintf(conn, "STATS\n")
+	line, _ = r.ReadString('\n')
+	if !strings.Contains(line, "\"records\"") {
+		t.Fatalf("STATS after corrupt batch = %q, want JSON stats", line)
+	}
+	// And a clean batch on the same connection still ingests.
+	fmt.Fprintf(conn, "INGEST 1\n")
+	conn.Write(frame)
+	line, _ = r.ReadString('\n')
+	if !strings.HasPrefix(line, "OK 1") {
+		t.Fatalf("INGEST after corrupt batch = %q, want OK 1", line)
+	}
+}
+
+func testRecords(client, flows int) []flowlog.Record {
+	recs := make([]flowlog.Record, 0, flows)
+	for i := 0; i < flows; i++ {
+		recs = append(recs, flowlog.Record{
+			Time:      t0.Add(time.Duration(i%60) * time.Minute),
+			LocalIP:   netip.AddrFrom4([4]byte{10, 0, byte(client + 1), byte(i%250 + 1)}),
+			LocalPort: uint16(30000 + i), RemoteIP: netip.AddrFrom4([4]byte{10, 0, 99, byte(client + 1)}),
+			RemotePort:  443,
+			PacketsSent: 1, BytesSent: uint64(100 + i), PacketsRcvd: 1, BytesRcvd: 50,
+		})
+	}
+	return recs
+}
+
+func TestServerConcurrentMixedCommands(t *testing.T) {
+	// Several clients hammer one sharded server with the full command mix
+	// concurrently (run with -race): every response must stay coherent
+	// and no records may be lost.
+	s, err := Serve("127.0.0.1:0", core.Config{Window: time.Hour, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const clients = 6
+	const flows = 200
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		go func(cl int) {
+			errs <- func() error {
+				c, err := Dial(s.Addr())
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				recs := testRecords(cl, flows)
+				for i := 0; i < len(recs); i += 32 {
+					end := i + 32
+					if end > len(recs) {
+						end = len(recs)
+					}
+					if err := c.Ingest(recs[i:end]); err != nil {
+						return err
+					}
+					if _, err := c.Stats(); err != nil {
+						return err
+					}
+				}
+				if _, err := c.Flush(); err != nil {
+					return err
+				}
+				// LEARN/MONITOR race against other clients' window churn;
+				// protocol-level errors (e.g. nothing to learn yet) are
+				// fine, transport desync is not.
+				if _, err := c.Learn(); err != nil && !strings.Contains(err.Error(), "analytics:") {
+					return err
+				}
+				if _, err := c.Monitor(); err != nil && !strings.Contains(err.Error(), "analytics:") {
+					return err
+				}
+				if _, err := c.Windows(); err != nil {
+					return err
+				}
+				return nil
+			}()
+		}(cl)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != int64(clients*flows) {
+		t.Errorf("records = %d, want %d", stats.Records, clients*flows)
+	}
+	if stats.Workers != 4 || len(stats.Shards) != 4 {
+		t.Errorf("stats workers = %d, shards = %d, want 4", stats.Workers, len(stats.Shards))
+	}
+	var perShard int64
+	for _, sh := range stats.Shards {
+		perShard += sh.Records
+	}
+	if perShard != stats.Records {
+		t.Errorf("per-shard records sum to %d, meter says %d", perShard, stats.Records)
 	}
 }
 

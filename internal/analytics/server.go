@@ -157,7 +157,15 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader, w *bufio.Writer) er
 		}
 		rec, err := flowlog.DecodeBinary(buf[:])
 		if err != nil {
-			return err
+			// Consume the rest of the declared batch before reporting:
+			// leaving unread frames in the stream would desync the
+			// protocol, parsing leftover binary bytes as commands.
+			for j := i + 1; j < n; j++ {
+				if _, derr := io.ReadFull(r, buf[:]); derr != nil {
+					return fmt.Errorf("short ingest stream at record %d", j)
+				}
+			}
+			return fmt.Errorf("record %d: %v", i, err)
 		}
 		batch = append(batch, rec)
 	}
@@ -174,11 +182,35 @@ type Stats struct {
 	Nodes         int     `json:"nodes"`
 	Edges         int     `json:"edges"`
 	Headline      string  `json:"headline,omitempty"`
+	// Sharded hot-path observability: engine ingest width, per-shard
+	// work breakdown, and time spent merging partial windows.
+	Workers int         `json:"workers"`
+	MergeMS float64     `json:"merge_ms"`
+	Shards  []ShardInfo `json:"shards,omitempty"`
+}
+
+// ShardInfo is one shard's entry in the STATS response.
+type ShardInfo struct {
+	Records int64   `json:"records"`
+	BusyMS  float64 `json:"busy_ms"`
+	Depth   int     `json:"depth"`
 }
 
 func (s *Server) stats() Stats {
 	cost := s.engine.Cost()
-	st := Stats{Records: cost.Records, RecordsPerSec: cost.RecordsPerSec}
+	st := Stats{
+		Records:       cost.Records,
+		RecordsPerSec: cost.RecordsPerSec,
+		Workers:       cost.Workers,
+		MergeMS:       float64(cost.Merge.Microseconds()) / 1e3,
+	}
+	for _, sh := range cost.Shards {
+		st.Shards = append(st.Shards, ShardInfo{
+			Records: sh.Records,
+			BusyMS:  float64(sh.Busy.Microseconds()) / 1e3,
+			Depth:   sh.Depth,
+		})
+	}
 	ws := s.engine.Windows()
 	st.Windows = len(ws)
 	if len(ws) > 0 {
@@ -251,9 +283,9 @@ func (s *Server) cmdSegments(w *bufio.Writer) error {
 
 // MonitorResult is the MONITOR response.
 type MonitorResult struct {
-	Violations  int      `json:"violations"`
-	Alerts      int      `json:"alerts"`
-	Suppressed  int      `json:"suppressed_pairs"`
+	Violations   int      `json:"violations"`
+	Alerts       int      `json:"alerts"`
+	Suppressed   int      `json:"suppressed_pairs"`
 	FlaggedPairs []string `json:"flagged_growth_pairs,omitempty"`
 }
 
@@ -343,4 +375,3 @@ func writeJSON(w *bufio.Writer, v any) error {
 	w.Write(b)
 	return w.WriteByte('\n')
 }
-

@@ -133,12 +133,12 @@ type link struct {
 
 // Cluster is a runnable synthetic workload.
 type Cluster struct {
-	spec   Spec
-	rng    *rand.Rand
-	roles  map[string]*role
-	byAddr map[netip.Addr]*instance
-	links  []*link
-	fabric *nicsim.Fabric
+	spec    Spec
+	rng     *rand.Rand
+	roles   map[string]*role
+	byAddr  map[netip.Addr]*instance
+	links   []*link
+	fabric  *nicsim.Fabric
 	attacks []Attack
 	// attackKeys records the flow keys the attack injector created, so
 	// experiments can label records as malicious ground truth.
@@ -159,11 +159,11 @@ func New(spec Spec) (*Cluster, error) {
 		spec.ExternalNet = netip.MustParsePrefix("198.18.0.0/15")
 	}
 	c := &Cluster{
-		spec:   spec,
-		rng:    rand.New(rand.NewSource(spec.Seed)),
-		roles:  make(map[string]*role, len(spec.Roles)),
-		byAddr: make(map[netip.Addr]*instance),
-		fabric: nicsim.NewFabric(spec.VMsPerHost, 4*time.Minute),
+		spec:       spec,
+		rng:        rand.New(rand.NewSource(spec.Seed)),
+		roles:      make(map[string]*role, len(spec.Roles)),
+		byAddr:     make(map[netip.Addr]*instance),
+		fabric:     nicsim.NewFabric(spec.VMsPerHost, 4*time.Minute),
 		attackKeys: make(map[flowlog.FlowKey]bool),
 	}
 	intNext, extNext := spec.InternalNet.Addr(), spec.ExternalNet.Addr()

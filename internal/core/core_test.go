@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -220,6 +221,227 @@ func TestMonitorAlertsOnUnknownEndpoint(t *testing.T) {
 	}
 	if len(rep.Unknown) != 1 || rep.Alerts != 1 {
 		t.Errorf("unknown endpoint should alert: unknown=%d alerts=%d", len(rep.Unknown), rep.Alerts)
+	}
+}
+
+func TestWindowerFlushDrains(t *testing.T) {
+	// Regression: completed graphs used to accumulate in the Windower
+	// forever, so every Flush re-returned the entire history and a
+	// long-running process retained every window.
+	w := NewWindower(time.Hour, graph.BuilderOptions{})
+	w.Add(rec(t0, 1, 100))
+	w.Add(rec(t0.Add(time.Hour), 2, 200))
+	if got := len(w.Flush()); got != 2 {
+		t.Fatalf("first Flush = %d windows, want 2", got)
+	}
+	if got := len(w.Flush()); got != 0 {
+		t.Errorf("second Flush re-returned %d windows, want 0 (drained)", got)
+	}
+	if w.Retained() != 0 {
+		t.Errorf("windower retains %d graphs after Flush", w.Retained())
+	}
+	// The windower stays usable after a drain.
+	w.Add(rec(t0.Add(2*time.Hour), 3, 300))
+	if got := len(w.Flush()); got != 1 {
+		t.Errorf("Flush after drain = %d windows, want 1", got)
+	}
+}
+
+func TestWindowerOnCompleteDoesNotRetain(t *testing.T) {
+	// Regression: graphs delivered through OnComplete were also appended
+	// to the internal done list, holding every window in memory twice.
+	w := NewWindower(time.Hour, graph.BuilderOptions{})
+	var got int
+	w.OnComplete = func(*graph.Graph) { got++ }
+	for h := 0; h < 6; h++ {
+		w.Add(rec(t0.Add(time.Duration(h)*time.Hour), uint16(h+1), 10))
+	}
+	w.Flush()
+	if got != 6 {
+		t.Fatalf("OnComplete fired %d times, want 6", got)
+	}
+	if w.Retained() != 0 {
+		t.Errorf("windower retains %d graphs alongside the OnComplete consumer", w.Retained())
+	}
+}
+
+func TestEngineRetentionBoundedWithMaxWindows(t *testing.T) {
+	// Regression for the same leak at engine level: with MaxWindows set,
+	// nothing below the engine may keep unbounded window history.
+	e := NewEngine(Config{Window: time.Hour, MaxWindows: 2})
+	for h := 0; h < 10; h++ {
+		e.Ingest([]flowlog.Record{rec(t0.Add(time.Duration(h)*time.Hour), uint16(h+1), 10)})
+	}
+	if got := len(e.Flush()); got != 2 {
+		t.Fatalf("retained windows = %d, want 2", got)
+	}
+	for _, sh := range e.shards {
+		if n := sh.windower.Retained(); n != 0 {
+			t.Errorf("shard windower retains %d graphs, want 0", n)
+		}
+	}
+	if len(e.pending) != 0 {
+		t.Errorf("%d partial windows left pending after Flush", len(e.pending))
+	}
+}
+
+// engineRecords builds a deterministic multi-window record stream with
+// enough distinct flows to spread across shards, including double-reported
+// intra-subscription flows that must deduplicate.
+func engineRecords(t *testing.T, hours int) []flowlog.Record {
+	t.Helper()
+	var recs []flowlog.Record
+	for h := 0; h < hours; h++ {
+		for m := 0; m < 60; m += 5 {
+			at := t0.Add(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute)
+			for i := 0; i < 40; i++ {
+				r := flowlog.Record{
+					Time:      at,
+					LocalIP:   netip.AddrFrom4([4]byte{10, 0, byte(i / 8), byte(i%8 + 1)}),
+					LocalPort: uint16(30000 + i), RemoteIP: netip.AddrFrom4([4]byte{10, 0, 9, byte(i%16 + 1)}),
+					RemotePort:  443,
+					PacketsSent: 2, BytesSent: uint64(100 * (i + 1)), PacketsRcvd: 1, BytesRcvd: 50,
+				}
+				recs = append(recs, r)
+				if i%2 == 0 {
+					recs = append(recs, r.Reverse()) // second NIC's report
+				}
+			}
+		}
+	}
+	return recs
+}
+
+func TestEngineShardEquivalence(t *testing.T) {
+	// The sharded hot path must be invisible in the output: same record
+	// stream, same merged windows, at any shard width.
+	recs := engineRecords(t, 3)
+	base := NewEngine(Config{Window: time.Hour, Shards: 1})
+	base.Ingest(recs)
+	want := base.Flush()
+	if len(want) != 3 {
+		t.Fatalf("single-shard windows = %d, want 3", len(want))
+	}
+	for _, shards := range []int{2, 4, 8} {
+		e := NewEngine(Config{Window: time.Hour, Shards: shards})
+		for i := 0; i < len(recs); i += 97 { // minibatches, like the wire path
+			end := i + 97
+			if end > len(recs) {
+				end = len(recs)
+			}
+			e.Ingest(recs[i:end])
+		}
+		got := e.Flush()
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: windows = %d, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Start.Equal(want[i].Start) || !got[i].End.Equal(want[i].End) {
+				t.Errorf("shards=%d window %d bounds = [%v,%v), want [%v,%v)",
+					shards, i, got[i].Start, got[i].End, want[i].Start, want[i].End)
+			}
+			if got[i].NumNodes() != want[i].NumNodes() || got[i].NumEdges() != want[i].NumEdges() {
+				t.Errorf("shards=%d window %d = %d nodes / %d edges, want %d / %d",
+					shards, i, got[i].NumNodes(), got[i].NumEdges(), want[i].NumNodes(), want[i].NumEdges())
+			}
+			if gt, wt := got[i].TotalTraffic(), want[i].TotalTraffic(); gt != wt {
+				t.Errorf("shards=%d window %d traffic = %+v, want %+v", shards, i, gt, wt)
+			}
+		}
+		cost := e.Cost()
+		if cost.Workers != shards || len(cost.Shards) != shards {
+			t.Errorf("cost workers = %d shards = %d, want %d", cost.Workers, len(cost.Shards), shards)
+		}
+		var perShard int64
+		for _, st := range cost.Shards {
+			perShard += st.Records
+		}
+		if perShard != int64(len(recs)) {
+			t.Errorf("per-shard records sum to %d, want %d", perShard, len(recs))
+		}
+	}
+}
+
+func TestEngineShardedConcurrentIngest(t *testing.T) {
+	// Many goroutines ingesting one window's records concurrently (run
+	// with -race): the merged window must cover the same nodes and edges
+	// as a serial single-shard pass, and the meter must not lose records.
+	recs := engineRecords(t, 1)
+	serial := NewEngine(Config{Window: time.Hour})
+	serial.Ingest(recs)
+	want := serial.Flush()[0]
+
+	e := NewEngine(Config{Window: time.Hour, Shards: 4})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w * 50; i < len(recs); i += workers * 50 {
+				end := i + 50
+				if end > len(recs) {
+					end = len(recs)
+				}
+				e.Ingest(recs[i:end])
+			}
+		}(w)
+	}
+	wg.Wait()
+	ws := e.Flush()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1", len(ws))
+	}
+	if ws[0].NumNodes() != want.NumNodes() || ws[0].NumEdges() != want.NumEdges() {
+		t.Errorf("concurrent window = %d nodes / %d edges, want %d / %d",
+			ws[0].NumNodes(), ws[0].NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	if got := e.Cost().Records; got != int64(len(recs)) {
+		t.Errorf("meter records = %d, want %d", got, len(recs))
+	}
+}
+
+func TestMonitorBaselinePinnedAcrossTrim(t *testing.T) {
+	// Regression: Monitor used e.windows[0] as the proportionality base,
+	// which silently became a different window once MaxWindows trimmed
+	// history. The base is now pinned at Learn time.
+	e := NewEngine(Config{Window: time.Hour, MaxWindows: 2})
+	e.Ingest([]flowlog.Record{rec(t0, 1, 1000)})
+	ws := e.Flush()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1", len(ws))
+	}
+	if _, err := e.Learn(ws[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	next := graph.New(graph.FacetIP)
+	next.AddEdge(graph.IPNode(ipA), graph.IPNode(ipB), graph.Counters{Bytes: 5000, Conns: 1})
+	before := e.Monitor(next)
+	if before == nil || len(before.Growth) == 0 {
+		t.Fatalf("no growth assessment before trim: %+v", before)
+	}
+
+	// Push enough much-louder windows through to trim the Learn window
+	// out of history.
+	for h := 1; h < 5; h++ {
+		e.Ingest([]flowlog.Record{rec(t0.Add(time.Duration(h)*time.Hour), uint16(h), 900000)})
+	}
+	if got := len(e.Flush()); got != 2 {
+		t.Fatalf("retained windows = %d, want 2", got)
+	}
+
+	after := e.Monitor(next)
+	if after == nil || len(after.Growth) != len(before.Growth) {
+		t.Fatalf("growth assessment changed shape after trim: %+v vs %+v", after, before)
+	}
+	for i := range before.Growth {
+		if after.Growth[i] != before.Growth[i] {
+			t.Errorf("growth[%d] drifted after trim: %+v vs %+v", i, after.Growth[i], before.Growth[i])
+		}
+	}
+	if before.Growth[0].BaseBytes != 1000 {
+		t.Errorf("baseline bytes = %d, want the Learn window's 1000", before.Growth[0].BaseBytes)
 	}
 }
 

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudgraph/internal/flowlog"
@@ -31,6 +34,13 @@ type Config struct {
 	MaxWindows int
 	// KeepSeries records per-interval time series on edges.
 	KeepSeries bool
+	// Shards is the width of the ingest hot path: records are hashed by
+	// flow key onto Shards independent windowers, each behind its own
+	// lock, so concurrent Ingest calls touching different flows proceed
+	// in parallel. Completed windows merge across shards before they are
+	// collapsed, stored and handed to OnWindow, so window semantics are
+	// identical at any width. Default 1.
+	Shards int
 	// OnWindow, when set, is called with each completed (and collapsed)
 	// window — the hook durable stores attach to.
 	OnWindow func(*graph.Graph)
@@ -43,38 +53,123 @@ func (c *Config) defaults() {
 	if c.Strategy == "" {
 		c.Strategy = segment.StrategyJaccardLouvain
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > 256 {
+		c.Shards = 256 // shard ids travel as one byte on the hot path
+	}
 }
 
 // Engine consumes connection summaries and maintains the dynamic view: the
 // rolling window graphs plus the learned segmentation and reachability
-// policy. It is safe for concurrent use.
+// policy. It is safe for concurrent use; with Config.Shards > 1 concurrent
+// Ingest calls contend only per flow-key shard, not on one engine-wide
+// lock.
 type Engine struct {
-	cfg Config
+	cfg   Config
+	meter *ingest.Meter
 
-	mu       sync.Mutex
-	windower *Windower
-	windows  []*graph.Graph // collapsed, completed windows in order
-	meter    *ingest.Meter
+	// The ingest hot path: one windower per shard, each behind its own
+	// lock. A record only ever takes its shard's lock.
+	shards []*engineShard
+
+	// closeMu serializes cross-shard window closes; maxStartNS (unix
+	// nanos of the newest window start seen) gates them so the steady
+	// state is one atomic load per batch.
+	closeMu    sync.Mutex
+	maxStartNS atomic.Int64
+	mergeNS    atomic.Int64
+
+	// pendMu guards pending: per-window partial graphs produced by shard
+	// windowers, keyed by window start, awaiting the cross-shard merge.
+	pendMu  sync.Mutex
+	pending map[int64][]*graph.Graph
+
+	mu      sync.Mutex
+	windows []*graph.Graph // collapsed, completed windows in order
 
 	// baseline state, established by Learn.
 	assign segment.Assignment
 	reach  *policy.Reachability
+	base   *graph.Graph // proportionality baseline, pinned at Learn time
+}
+
+// engineShard is one lane of the ingest hot path.
+type engineShard struct {
+	mu       sync.Mutex
+	windower *Windower
+	records  int64
+	busy     time.Duration
+}
+
+// add folds a batch into the shard and returns the newest window start the
+// shard has seen.
+func (sh *engineShard) add(recs []flowlog.Record) time.Time {
+	sh.mu.Lock()
+	start := time.Now()
+	for _, r := range recs {
+		sh.windower.Add(r)
+	}
+	sh.busy += time.Since(start)
+	sh.records += int64(len(recs))
+	m := sh.windower.MaxStart()
+	sh.mu.Unlock()
+	return m
+}
+
+// addFiltered folds the batch records whose shard id matches s, scanning
+// the shared batch in place instead of materializing per-shard copies —
+// the id buffer costs one byte per record where slicing the batch out
+// costs a record copy.
+func (sh *engineShard) addFiltered(recs []flowlog.Record, ids []uint8, s uint8, count int) time.Time {
+	sh.mu.Lock()
+	start := time.Now()
+	for i := range recs {
+		if ids[i] == s {
+			sh.windower.Add(recs[i])
+		}
+	}
+	sh.busy += time.Since(start)
+	sh.records += int64(count)
+	m := sh.windower.MaxStart()
+	sh.mu.Unlock()
+	return m
 }
 
 // NewEngine returns an Engine with the given config.
 func NewEngine(cfg Config) *Engine {
 	cfg.defaults()
-	e := &Engine{cfg: cfg, meter: ingest.NewMeter()}
-	e.windower = NewWindower(cfg.Window, graph.BuilderOptions{
+	e := &Engine{
+		cfg:     cfg,
+		meter:   ingest.NewMeter(),
+		pending: make(map[int64][]*graph.Graph),
+	}
+	e.maxStartNS.Store(math.MinInt64)
+	opts := graph.BuilderOptions{
 		Facet:      cfg.Facet,
 		Label:      cfg.Label,
 		KeepSeries: cfg.KeepSeries,
-	})
-	e.windower.OnComplete = e.onWindow
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		w := NewWindower(cfg.Window, opts)
+		w.OnComplete = e.addPartial
+		e.shards = append(e.shards, &engineShard{windower: w})
+	}
 	return e
 }
 
-// onWindow collapses and stores a completed window. Caller holds e.mu.
+// addPartial queues one shard's view of a completed window for merging.
+// Called by shard windowers with that shard's lock held.
+func (e *Engine) addPartial(g *graph.Graph) {
+	k := g.Start.UnixNano()
+	e.pendMu.Lock()
+	e.pending[k] = append(e.pending[k], g)
+	e.pendMu.Unlock()
+}
+
+// onWindow collapses and stores a completed, fully merged window. Caller
+// holds e.mu.
 func (e *Engine) onWindow(g *graph.Graph) {
 	if e.cfg.Collapse.Threshold > 0 || e.cfg.Collapse.Keep != nil {
 		g = g.Collapse(e.cfg.Collapse)
@@ -88,13 +183,102 @@ func (e *Engine) onWindow(g *graph.Graph) {
 	}
 }
 
-// Ingest adds a batch of records.
+// Ingest adds a batch of records. Records are routed to shards by flow
+// key (the ingest.ShardOf scheme), so both reports of an
+// intra-subscription flow deduplicate in the same shard.
 func (e *Engine) Ingest(recs []flowlog.Record) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	if len(recs) == 0 {
+		return
+	}
 	e.meter.Observe(len(recs))
-	for _, r := range recs {
-		e.windower.Add(r)
+	n := len(e.shards)
+	var maxStart time.Time
+	if n == 1 {
+		maxStart = e.shards[0].add(recs)
+	} else {
+		// One byte of shard id per record instead of per-shard record
+		// copies: each shard then scans the shared batch in place.
+		ids := make([]uint8, len(recs))
+		counts := make([]int, n)
+		for i := range recs {
+			s := ingest.ShardOf(recs[i].Key(), n)
+			ids[i] = uint8(s)
+			counts[s]++
+		}
+		for i, sh := range e.shards {
+			if counts[i] == 0 {
+				continue
+			}
+			if m := sh.addFiltered(recs, ids, uint8(i), counts[i]); m.After(maxStart) {
+				maxStart = m
+			}
+		}
+	}
+	e.advance(maxStart)
+}
+
+// advance closes windows across all shards once the stream has moved past
+// them: when the newest window start grows, every window strictly older
+// than it is closed in every shard and the partials merge into whole
+// windows. The fast path — stream still inside the current window — is one
+// atomic load.
+func (e *Engine) advance(maxStart time.Time) {
+	if maxStart.IsZero() || maxStart.UnixNano() <= e.maxStartNS.Load() {
+		return
+	}
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	ns := maxStart.UnixNano()
+	if ns <= e.maxStartNS.Load() {
+		return
+	}
+	e.maxStartNS.Store(ns)
+	e.closeShards(maxStart, false)
+}
+
+// closeShards closes windows older than cutoff in every shard (all open
+// windows when flush is set) and merges the resulting partials. Caller
+// holds e.closeMu.
+func (e *Engine) closeShards(cutoff time.Time, flush bool) {
+	start := time.Now()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		if flush {
+			sh.windower.Flush()
+		} else {
+			sh.windower.CloseUpTo(cutoff)
+		}
+		sh.mu.Unlock()
+	}
+	e.mergePending(cutoff, flush)
+	e.mergeNS.Add(int64(time.Since(start)))
+}
+
+// mergePending combines per-shard partials for every window starting
+// before cutoff (or all of them) and emits the merged windows in order.
+func (e *Engine) mergePending(cutoff time.Time, all bool) {
+	e.pendMu.Lock()
+	var keys []int64
+	for k := range e.pending {
+		if all || k < cutoff.UnixNano() {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	groups := make([][]*graph.Graph, len(keys))
+	for i, k := range keys {
+		groups[i] = e.pending[k]
+		delete(e.pending, k)
+	}
+	e.pendMu.Unlock()
+	for _, parts := range groups {
+		g := parts[0]
+		for _, p := range parts[1:] {
+			g.Merge(p)
+		}
+		e.mu.Lock()
+		e.onWindow(g)
+		e.mu.Unlock()
 	}
 }
 
@@ -105,14 +289,13 @@ func (e *Engine) Collect(recs []flowlog.Record) error {
 	return nil
 }
 
-// Flush closes open windows and returns all completed window graphs.
+// Flush closes open windows across all shards and returns all completed
+// window graphs.
 func (e *Engine) Flush() []*graph.Graph {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.windower.Flush()
-	out := make([]*graph.Graph, len(e.windows))
-	copy(out, e.windows)
-	return out
+	e.closeMu.Lock()
+	e.closeShards(time.Time{}, true)
+	e.closeMu.Unlock()
+	return e.Windows()
 }
 
 // Windows returns the completed window graphs without flushing.
@@ -134,16 +317,34 @@ func (e *Engine) Latest() *graph.Graph {
 	return e.windows[len(e.windows)-1]
 }
 
-// Cost returns the ingest cost report so far.
+// Cost returns the ingest cost report so far, including the per-shard
+// breakdown of the hot path.
 func (e *Engine) Cost() ingest.CostReport {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.meter.Snapshot()
+	r := e.meter.Snapshot()
+	r.Workers = len(e.shards)
+	r.Shards = make([]ingest.ShardStat, len(e.shards))
+	var busy time.Duration
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		st := ingest.ShardStat{
+			Records: sh.records,
+			Busy:    sh.busy,
+			Depth:   sh.windower.Pending(),
+		}
+		sh.mu.Unlock()
+		r.Shards[i] = st
+		busy += st.Busy
+	}
+	r.WorkerBusy = busy
+	r.Merge = time.Duration(e.mergeNS.Load())
+	return r
 }
 
 // Learn segments the given window (typically the first clean one) and
 // derives the reachability policy from it, establishing the engine's
-// baseline. It returns the segmentation.
+// baseline. The window is also pinned as the proportionality-growth base,
+// so later history trimming (MaxWindows) cannot silently shift what
+// Monitor compares against. It returns the segmentation.
 func (e *Engine) Learn(g *graph.Graph) (segment.Assignment, error) {
 	assign, err := segment.Run(e.cfg.Strategy, g, e.cfg.Segment)
 	if err != nil {
@@ -152,6 +353,7 @@ func (e *Engine) Learn(g *graph.Graph) (segment.Assignment, error) {
 	e.mu.Lock()
 	e.assign = assign
 	e.reach = policy.Learn(g, assign)
+	e.base = g
 	e.mu.Unlock()
 	return assign, nil
 }
@@ -165,14 +367,12 @@ func (e *Engine) Baseline() (segment.Assignment, *policy.Reachability) {
 
 // Monitor evaluates a window against the learned baseline: raw reachability
 // violations, similarity-filtered cohort changes, and proportionality
-// assessments. It returns nil results before Learn.
+// assessments against the window pinned at Learn time. It returns nil
+// results before Learn.
 func (e *Engine) Monitor(g *graph.Graph) *MonitorReport {
 	e.mu.Lock()
 	reach := e.reach
-	var base *graph.Graph
-	if len(e.windows) > 0 {
-		base = e.windows[0]
-	}
+	base := e.base
 	e.mu.Unlock()
 	if reach == nil {
 		return nil

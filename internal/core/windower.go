@@ -56,12 +56,13 @@ func (w *Windower) Add(rec flowlog.Record) {
 	b.Add(rec)
 	if start.After(w.maxStart) {
 		w.maxStart = start
-		w.closeBefore(start)
+		w.emit(w.closeBefore(start))
 	}
 }
 
-// closeBefore finishes every window strictly older than cutoff.
-func (w *Windower) closeBefore(cutoff time.Time) {
+// closeBefore finishes every window strictly older than cutoff and returns
+// the completed graphs in window order.
+func (w *Windower) closeBefore(cutoff time.Time) []*graph.Graph {
 	var starts []time.Time
 	for s := range w.builders {
 		if s.Before(cutoff) {
@@ -69,6 +70,7 @@ func (w *Windower) closeBefore(cutoff time.Time) {
 		}
 	}
 	sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+	closed := make([]*graph.Graph, 0, len(starts))
 	for _, s := range starts {
 		g := w.builders[s].Finish()
 		// The graph covers its whole window, not just the span of the
@@ -76,22 +78,50 @@ func (w *Windower) closeBefore(cutoff time.Time) {
 		g.Start = s
 		g.End = s.Add(w.window)
 		delete(w.builders, s)
-		w.done = append(w.done, g)
+		closed = append(closed, g)
+	}
+	return closed
+}
+
+// emit hands completed graphs to OnComplete, or retains them for Flush when
+// no hook is set. A hook consumer owns the graphs; retaining them here too
+// would hold every window in memory twice for the life of the process.
+func (w *Windower) emit(closed []*graph.Graph) {
+	for _, g := range closed {
 		if w.OnComplete != nil {
 			w.OnComplete(g)
+		} else {
+			w.done = append(w.done, g)
 		}
 	}
 }
 
-// Flush closes all open windows and returns every completed graph in
-// window order. The Windower can keep accepting records afterwards.
+// CloseUpTo finishes every window strictly older than cutoff, regardless of
+// what record times have been seen, delivering the graphs as usual (to
+// OnComplete, or to the next Flush). The sharded engine uses this to force
+// all shards to close a window once any shard has advanced past it.
+func (w *Windower) CloseUpTo(cutoff time.Time) {
+	w.emit(w.closeBefore(cutoff))
+}
+
+// MaxStart returns the start of the newest window any record has touched.
+func (w *Windower) MaxStart() time.Time { return w.maxStart }
+
+// Flush closes all open windows and returns the completed graphs not yet
+// consumed, in window order, draining them from the Windower: a second
+// Flush with no intervening records returns nothing, and graphs delivered
+// through OnComplete are never retained here. The Windower can keep
+// accepting records afterwards.
 func (w *Windower) Flush() []*graph.Graph {
-	w.closeBefore(w.maxStart.Add(w.window))
-	out := make([]*graph.Graph, len(w.done))
-	copy(out, w.done)
+	w.emit(w.closeBefore(w.maxStart.Add(w.window)))
+	out := w.done
+	w.done = nil
 	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
 }
 
 // Pending returns the number of still-open windows.
 func (w *Windower) Pending() int { return len(w.builders) }
+
+// Retained returns the number of completed graphs held for the next Flush.
+func (w *Windower) Retained() int { return len(w.done) }

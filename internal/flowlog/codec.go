@@ -41,7 +41,10 @@ func AppendBinary(dst []byte, r Record) []byte {
 }
 
 // DecodeBinary decodes one fixed-size frame from b. It returns ErrBadRecord
-// if b is shorter than WireSize.
+// if b is shorter than WireSize or the frame does not hold a plausible
+// record: a real connection summary always names two specific endpoints,
+// so an unspecified (all-zero) address means the frame is garbage — e.g. a
+// stream that lost alignment.
 func DecodeBinary(b []byte) (Record, error) {
 	var r Record
 	if len(b) < WireSize {
@@ -56,6 +59,9 @@ func DecodeBinary(b []byte) (Record, error) {
 	r.PacketsRcvd = binary.LittleEndian.Uint64(b[52:])
 	r.BytesSent = binary.LittleEndian.Uint64(b[60:])
 	r.BytesRcvd = binary.LittleEndian.Uint64(b[68:])
+	if r.LocalIP.IsUnspecified() || r.RemoteIP.IsUnspecified() {
+		return Record{}, fmt.Errorf("%w: unspecified address", ErrBadRecord)
+	}
 	return r, nil
 }
 

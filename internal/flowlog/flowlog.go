@@ -27,11 +27,11 @@ import (
 // endpoint's perspective: PacketsSent/BytesSent left the local VM,
 // PacketsRcvd/BytesRcvd arrived at it.
 type Record struct {
-	Time       time.Time
-	LocalIP    netip.Addr
-	LocalPort  uint16
-	RemoteIP   netip.Addr
-	RemotePort uint16
+	Time        time.Time
+	LocalIP     netip.Addr
+	LocalPort   uint16
+	RemoteIP    netip.Addr
+	RemotePort  uint16
 	PacketsSent uint64
 	PacketsRcvd uint64
 	BytesSent   uint64

@@ -41,10 +41,12 @@ func (Record) Generate(r *rand.Rand, _ int) reflect.Value {
 		if r.Intn(4) == 0 {
 			var b [16]byte
 			r.Read(b[:])
+			b[15] |= 1 // never the unspecified address (rejected on decode)
 			return netip.AddrFrom16(b)
 		}
 		var b [4]byte
 		r.Read(b[:])
+		b[3] |= 1
 		return netip.AddrFrom4(b)
 	}
 	rec := Record{

@@ -8,9 +8,9 @@ import "time"
 // survive provider-side sampling (1.0 = unsampled); PricePerGB is the
 // collection cost used for COGS accounting.
 type Provider struct {
-	Name        string
-	LogName     string
-	AggInterval time.Duration
+	Name         string
+	LogName      string
+	AggInterval  time.Duration
 	PacketSample float64
 	FlowSample   float64
 	PricePerGB   float64

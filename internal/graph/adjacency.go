@@ -79,15 +79,15 @@ func (g *Graph) DOT(m Metric, labels map[Node]int) string {
 
 // Stats summarizes a graph for Figure 2 / Table 1 style reporting.
 type Stats struct {
-	Facet    Facet
-	Nodes    int
-	Edges    int
-	Density  float64
-	MaxDeg   int
-	MeanDeg  float64
-	Bytes    uint64
-	Packets  uint64
-	Conns    uint64
+	Facet   Facet
+	Nodes   int
+	Edges   int
+	Density float64
+	MaxDeg  int
+	MeanDeg float64
+	Bytes   uint64
+	Packets uint64
+	Conns   uint64
 }
 
 // ComputeStats returns summary statistics of the graph.

@@ -50,13 +50,13 @@ type Edge struct {
 // directed (out[src][dst] carries what src sent to dst); undirected views
 // are derived. The zero value is not usable; call New.
 type Graph struct {
-	Facet  Facet
-	Start  time.Time
-	End    time.Time
-	out    map[Node]map[Node]*Edge
-	in     map[Node]map[Node]*Edge
-	nodes  map[Node]struct{}
-	edges  int // number of unordered connected pairs
+	Facet Facet
+	Start time.Time
+	End   time.Time
+	out   map[Node]map[Node]*Edge
+	in    map[Node]map[Node]*Edge
+	nodes map[Node]struct{}
+	edges int // number of unordered connected pairs
 }
 
 // New returns an empty graph with the given facet.

@@ -3,6 +3,7 @@ package ingest
 import (
 	"math/rand"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -104,17 +105,78 @@ func TestPipelineIngestAfterCloseIsNoop(t *testing.T) {
 	}
 }
 
+func TestPipelineCloseDuringIngestIsSafe(t *testing.T) {
+	// Regression for the closed-flag data race: Ingest read p.closed
+	// while Close wrote it with no synchronization, and an Ingest racing
+	// the channel close could send on a closed channel. Run with -race.
+	a, b := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	for round := 0; round < 20; round++ {
+		p := NewPipeline(4, graph.BuilderOptions{Facet: graph.FacetIP})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				batch := []flowlog.Record{rec(a, b, uint16(30000+g), 443, 1000, t0)}
+				for i := 0; i < 50; i++ {
+					p.Ingest(batch)
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p.Close()
+		}()
+		close(start)
+		wg.Wait()
+		// Close is idempotent and Ingest after Close stays a no-op.
+		g1, _ := p.Close()
+		p.Ingest([]flowlog.Record{rec(a, b, 1, 2, 10, t0)})
+		g2, _ := p.Close()
+		if g2.NumNodes() != g1.NumNodes() {
+			t.Fatal("Ingest after Close added records")
+		}
+	}
+}
+
+func TestPipelineReportsPerShardStats(t *testing.T) {
+	a := netip.MustParseAddr("10.0.0.1")
+	p := NewPipeline(3, graph.BuilderOptions{Facet: graph.FacetIP})
+	for i := 0; i < 32; i++ {
+		b := netip.AddrFrom4([4]byte{10, 0, 1, byte(i + 1)})
+		p.Ingest([]flowlog.Record{rec(a, b, uint16(30000+i), 443, 1000, t0)})
+	}
+	_, report := p.Close()
+	if len(report.Shards) != 3 {
+		t.Fatalf("shard stats = %d entries, want 3", len(report.Shards))
+	}
+	var sum int64
+	for _, s := range report.Shards {
+		sum += s.Records
+		if s.Depth != 0 {
+			t.Errorf("drained worker reports depth %d", s.Depth)
+		}
+	}
+	if sum != report.Records || sum != 32 {
+		t.Errorf("per-shard records sum to %d, meter says %d", sum, report.Records)
+	}
+}
+
 func TestShardOfStable(t *testing.T) {
 	a, b := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.9.9.9")
 	k := flowlog.Record{LocalIP: a, LocalPort: 5, RemoteIP: b, RemotePort: 6}.Key()
-	s := shardOf(k, 7)
+	s := ShardOf(k, 7)
 	for i := 0; i < 10; i++ {
-		if shardOf(k, 7) != s {
+		if ShardOf(k, 7) != s {
 			t.Fatal("shardOf not deterministic")
 		}
 	}
 	rev := flowlog.Record{LocalIP: b, LocalPort: 6, RemoteIP: a, RemotePort: 5}.Key()
-	if shardOf(rev, 7) != s {
+	if ShardOf(rev, 7) != s {
 		t.Error("reverse report shards differently")
 	}
 }
@@ -146,7 +208,7 @@ func TestSpaceSavingGuarantee(t *testing.T) {
 		if rng.Intn(10) == 0 {
 			n = heavy
 		} else {
-			n = graph.ServiceNode(string(rune('a' + rng.Intn(26))) + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))))
+			n = graph.ServiceNode(string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))))
 		}
 		s.Add(n, 1)
 		truth[n]++

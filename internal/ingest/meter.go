@@ -37,9 +37,27 @@ type CostReport struct {
 	Wall          time.Duration
 	RecordsPerSec float64
 	// WorkerBusy is summed CPU-equivalent busy time across workers;
-	// filled in by Pipeline.Close.
+	// filled in by Pipeline.Close and core.Engine.Cost.
 	WorkerBusy time.Duration
 	Workers    int
+	// Shards breaks the work down per shard for the sharded ingest paths.
+	Shards []ShardStat
+	// Merge is the time spent combining per-shard partial graphs into
+	// whole windows.
+	Merge time.Duration
+}
+
+// ShardStat is per-shard observability for a sharded ingest path: how much
+// work the shard absorbed, how long it spent folding records, and how much
+// is still queued behind it.
+type ShardStat struct {
+	// Records routed to this shard by flow-key hash.
+	Records int64
+	// Busy is time spent folding records into the shard's builders.
+	Busy time.Duration
+	// Depth is the shard's backlog: queued minibatches for a Pipeline
+	// worker, still-open windows for an engine shard.
+	Depth int
 }
 
 // Snapshot returns the current cost report.

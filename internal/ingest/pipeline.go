@@ -22,12 +22,19 @@ type Pipeline struct {
 	workers []*worker
 	wg      sync.WaitGroup
 	meter   *Meter
-	closed  bool
+
+	// mu guards closed and the worker channels: Ingest holds the read
+	// side while sending, Close holds the write side while closing, so an
+	// Ingest racing a Close can never send on a closed channel and an
+	// Ingest after Close is a safe no-op.
+	mu     sync.RWMutex
+	closed bool
 }
 
 type worker struct {
 	in      chan []flowlog.Record
 	builder *graph.Builder
+	records int64
 	busy    time.Duration
 }
 
@@ -52,6 +59,7 @@ func NewPipeline(n int, opts graph.BuilderOptions) *Pipeline {
 				for _, rec := range batch {
 					w.builder.Add(rec)
 				}
+				w.records += int64(len(batch))
 				w.busy += time.Since(start)
 			}
 		}()
@@ -62,8 +70,13 @@ func NewPipeline(n int, opts graph.BuilderOptions) *Pipeline {
 // shardSeed keeps sharding deterministic across runs.
 const shardSeed = 0x51ed2701
 
-// fnvNode hashes a flow key for sharding.
-func shardOf(k flowlog.FlowKey, n int) int {
+// ShardOf hashes a flow key onto one of n shards (FNV-1a over both
+// endpoints). Both reports of an intra-subscription flow carry the same
+// directionless key, so they always land in the same shard — the property
+// the deduplication window depends on. The engine's sharded hot path
+// (internal/core) uses the same scheme so a flow aggregates identically
+// whichever path ingests it.
+func ShardOf(k flowlog.FlowKey, n int) int {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037) ^ shardSeed
 	a16 := k.A.Addr().As16()
@@ -82,8 +95,10 @@ func shardOf(k flowlog.FlowKey, n int) int {
 // Ingest accepts one minibatch, splits it by flow-key shard and hands the
 // shards to the workers. It blocks only when worker queues are full
 // (backpressure), mirroring the paper's SaaS sketch where the stream
-// processor adapts to load.
+// processor adapts to load. Ingest after Close is a no-op.
 func (p *Pipeline) Ingest(batch []flowlog.Record) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.closed || len(batch) == 0 {
 		return
 	}
@@ -95,7 +110,7 @@ func (p *Pipeline) Ingest(batch []flowlog.Record) {
 	}
 	shards := make([][]flowlog.Record, n)
 	for _, rec := range batch {
-		s := shardOf(rec.Key(), n)
+		s := ShardOf(rec.Key(), n)
 		shards[s] = append(shards[s], rec)
 	}
 	for i, s := range shards {
@@ -108,20 +123,29 @@ func (p *Pipeline) Ingest(batch []flowlog.Record) {
 // Close drains the workers and returns the merged communication graph plus
 // the pipeline's cost report.
 func (p *Pipeline) Close() (*graph.Graph, CostReport) {
+	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
 		for _, w := range p.workers {
 			close(w.in)
 		}
-		p.wg.Wait()
 	}
+	p.mu.Unlock()
+	p.wg.Wait()
 	out := graph.New(p.opts.Facet)
 	var busy time.Duration
+	report := p.meter.Snapshot()
+	mergeStart := time.Now()
 	for _, w := range p.workers {
 		out.Merge(w.builder.Finish())
 		busy += w.busy
+		report.Shards = append(report.Shards, ShardStat{
+			Records: w.records,
+			Busy:    w.busy,
+			Depth:   len(w.in),
+		})
 	}
-	report := p.meter.Snapshot()
+	report.Merge = time.Since(mergeStart)
 	report.WorkerBusy = busy
 	report.Workers = len(p.workers)
 	return out, report

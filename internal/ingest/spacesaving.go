@@ -29,11 +29,11 @@ type ssEntry struct {
 
 type ssHeap []*ssEntry
 
-func (h ssHeap) Len() int            { return len(h) }
-func (h ssHeap) Less(i, j int) bool  { return h[i].count < h[j].count }
-func (h ssHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
-func (h *ssHeap) Push(x any)         { e := x.(*ssEntry); e.index = len(*h); *h = append(*h, e) }
-func (h *ssHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h ssHeap) Len() int           { return len(h) }
+func (h ssHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *ssHeap) Push(x any)        { e := x.(*ssEntry); e.index = len(*h); *h = append(*h, e) }
+func (h *ssHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // NewSpaceSaving returns a sketch tracking at most k nodes (k>=1).
 func NewSpaceSaving(k int) *SpaceSaving {

@@ -17,8 +17,8 @@ import (
 
 // BurstStat is one flow's burst summary for an interval.
 type BurstStat struct {
-	LocalPort  uint16
-	Remote     netip.AddrPort
+	LocalPort uint16
+	Remote    netip.AddrPort
 	// PeakBytes is the largest byte count observed in any bucket.
 	PeakBytes uint64
 	// TotalBytes is the interval's total (matching the flow summary).

@@ -43,12 +43,12 @@ func TestEnforcerEvaluate(t *testing.T) {
 	e := Enforcer{R: Learn(g, assign)}
 	attacker := netip.MustParseAddr("198.51.100.66")
 	recs := []flowlog.Record{
-		recBetween(nodes["fe1"].Addr, nodes["be1"].Addr, 100),  // legit, allowed
-		recBetween(nodes["be2"].Addr, nodes["db1"].Addr, 100),  // legit, allowed
-		recBetween(nodes["fe2"].Addr, nodes["fe1"].Addr, 100),  // legit-but-new: collateral
-		recBetween(nodes["fe1"].Addr, nodes["db1"].Addr, 1e6),  // attack, blocked
-		recBetween(nodes["be1"].Addr, attacker, 1e9),           // attack, blocked (unknown)
-		recBetween(nodes["fe1"].Addr, nodes["be2"].Addr, 1e6),  // attack within allowed pair: slips through
+		recBetween(nodes["fe1"].Addr, nodes["be1"].Addr, 100), // legit, allowed
+		recBetween(nodes["be2"].Addr, nodes["db1"].Addr, 100), // legit, allowed
+		recBetween(nodes["fe2"].Addr, nodes["fe1"].Addr, 100), // legit-but-new: collateral
+		recBetween(nodes["fe1"].Addr, nodes["db1"].Addr, 1e6), // attack, blocked
+		recBetween(nodes["be1"].Addr, attacker, 1e9),          // attack, blocked (unknown)
+		recBetween(nodes["fe1"].Addr, nodes["be2"].Addr, 1e6), // attack within allowed pair: slips through
 	}
 	isAttack := func(r flowlog.Record) bool { return r.BytesSent >= 1e6 }
 	rep := e.Evaluate(recs, isAttack)

@@ -32,9 +32,9 @@ var ErrBadFormat = errors.New("store: bad file format")
 
 // Writer appends window graphs to a store file.
 type Writer struct {
-	f  *os.File
-	w  *bufio.Writer
-	n  int
+	f *os.File
+	w *bufio.Writer
+	n int
 }
 
 // Create opens (or creates) a store file for appending. A new file gets the

@@ -62,7 +62,7 @@ func PortFanouts(recs []flowlog.Record) []PortFanout {
 
 // ScanSuspect is a source whose port fanout jumped against its baseline.
 type ScanSuspect struct {
-	Source       graph.Node
+	Source        graph.Node
 	BaselinePorts int
 	WindowPorts   int
 }
