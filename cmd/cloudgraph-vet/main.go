@@ -1,0 +1,186 @@
+// Command cloudgraph-vet runs the project-specific analyzer suite over the
+// module: the concurrency, determinism and wire-schema invariants that
+// `go vet` cannot see but whose violations produced PR 1's bug crop.
+//
+// Usage:
+//
+//	go run ./cmd/cloudgraph-vet ./...            # whole module
+//	go run ./cmd/cloudgraph-vet ./internal/core  # one package subtree
+//	go run ./cmd/cloudgraph-vet -json ./...      # machine-readable findings
+//	go run ./cmd/cloudgraph-vet -dir path/to/pkg # standalone directory
+//
+// Per-line suppressions use `//lint:allow <analyzer> <justification>` on
+// the offending line or the line above it; per-path suppressions use
+// repeated -suppress analyzer:path/prefix flags.
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cloudgraph/internal/analysis"
+)
+
+// suppressFlag collects repeated -suppress analyzer:pathprefix values.
+type suppressFlag []struct{ analyzer, prefix string }
+
+func (s *suppressFlag) String() string { return fmt.Sprint(*s) }
+
+func (s *suppressFlag) Set(v string) error {
+	name, prefix, ok := strings.Cut(v, ":")
+	if !ok || name == "" || prefix == "" {
+		return fmt.Errorf("want analyzer:path/prefix, got %q", v)
+	}
+	*s = append(*s, struct{ analyzer, prefix string }{name, prefix})
+	return nil
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	dir := flag.String("dir", "", "analyze a single standalone package directory instead of the module")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	var suppress suppressFlag
+	flag.Var(&suppress, "suppress", "suppress analyzer under a path prefix (repeatable, analyzer:path/prefix)")
+	flag.Parse()
+
+	analyzers := analysis.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var pkgs []*analysis.Package
+	var root string
+	if *dir != "" {
+		pkg, err := analysis.LoadDir(*dir)
+		if err != nil {
+			fatalf("load %s: %v", *dir, err)
+		}
+		// Standalone directories get the full suite with no path gating.
+		for _, a := range analyzers {
+			a.Match = nil
+		}
+		pkgs = []*analysis.Package{pkg}
+	} else {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		root, err = analysis.FindModuleRoot(cwd)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pkgs, err = analysis.LoadModule(root)
+		if err != nil {
+			fatalf("load module: %v", err)
+		}
+		pkgs = filterPackages(pkgs, root, flag.Args())
+	}
+
+	findings := analysis.Run(analyzers, pkgs)
+	findings = applySuppressions(findings, suppress, root)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatalf("encode: %v", err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cloudgraph-vet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// filterPackages restricts the loaded set to the requested patterns:
+// "./..." (or no argument) keeps everything, "./x/..." keeps the subtree,
+// "./x" keeps the one package. All packages stay loaded for type
+// resolution; only reporting is filtered.
+func filterPackages(pkgs []*analysis.Package, root string, args []string) []*analysis.Package {
+	if len(args) == 0 {
+		return pkgs
+	}
+	keep := func(p *analysis.Package) bool {
+		rel, err := filepath.Rel(root, p.Dir)
+		if err != nil {
+			return true
+		}
+		rel = filepath.ToSlash(rel)
+		for _, arg := range args {
+			arg = filepath.ToSlash(arg)
+			arg = strings.TrimPrefix(arg, "./")
+			if arg == "..." || arg == "." {
+				return true
+			}
+			if sub, ok := strings.CutSuffix(arg, "/..."); ok {
+				if rel == sub || strings.HasPrefix(rel, sub+"/") {
+					return true
+				}
+				continue
+			}
+			if rel == strings.TrimSuffix(arg, "/") {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// applySuppressions drops findings matching -suppress analyzer:pathprefix
+// flags; prefixes are matched against the finding's path relative to the
+// module root.
+func applySuppressions(findings []analysis.Finding, suppress suppressFlag, root string) []analysis.Finding {
+	if len(suppress) == 0 {
+		return findings
+	}
+	var out []analysis.Finding
+	for _, f := range findings {
+		rel := f.File
+		if root != "" {
+			if r, err := filepath.Rel(root, f.File); err == nil {
+				rel = filepath.ToSlash(r)
+			}
+		}
+		drop := false
+		for _, s := range suppress {
+			if s.analyzer == f.Analyzer && strings.HasPrefix(rel, s.prefix) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cloudgraph-vet: "+format+"\n", args...)
+	os.Exit(2)
+}

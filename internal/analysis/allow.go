@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowSet records which analyzers are suppressed on which lines of which
+// files, from //lint:allow comments.
+type allowSet map[string]map[int][]string
+
+// allowedLines scans the files' comments for suppression directives:
+//
+//	//lint:allow <analyzer> <justification>
+//
+// A directive suppresses the named analyzer on its own line and — so a long
+// justification can sit above a long statement — on the line immediately
+// below it.
+func allowedLines(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					continue
+				}
+				name, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], name)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], name)
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether f is suppressed by a directive.
+func (s allowSet) allows(f Finding) bool {
+	for _, name := range s[f.File][f.Line] {
+		if name == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+// Package analysis is a dependency-free analyzer framework (stdlib
+// go/parser + go/types + go/importer only) plus the project-specific
+// analyzers behind cmd/cloudgraph-vet. Each analyzer encodes one invariant
+// of this codebase that `go vet` cannot see — the bug shapes PR 1 fixed at
+// runtime are rejected here at review time:
+//
+//   - lockscope:  no blocking call (channel send/receive, callback field
+//     invocation) while a sync.Mutex/RWMutex field is held
+//   - detclock:   no ambient clock or global RNG in the deterministic
+//     simulation packages; map-order-dependent accumulation must sort
+//   - wirestruct: wire-schema structs are built with keyed literals only,
+//     and their codecs must reference every field
+//   - errdrop:    error returns may not be silently discarded
+//   - floatcmp:   no ==/!= on floating-point values
+//
+// Findings can be suppressed per line with a justified inline comment:
+//
+//	//lint:allow <analyzer> <why this site is safe>
+//
+// on the offending line or alone on the line above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil means every package.
+	Match func(pkgPath string) bool
+	Run   func(p *Pass)
+}
+
+// Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path.
+	Path string
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to every package, drops findings suppressed by
+// //lint:allow comments, and returns the rest ordered by file and line.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+			}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				if !allowed.allows(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

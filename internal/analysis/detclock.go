@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detclock enforces determinism in the simulation packages: repeated runs
+// with the same seed must be byte-identical, which Hypersparse-style
+// pipelines and the calibration experiments depend on. It forbids
+//
+//   - ambient clock reads (time.Now, time.Since, time.Until) and timer
+//     construction (time.Sleep/After/Tick/NewTicker/NewTimer/AfterFunc) —
+//     simulations must be driven by explicit timestamps;
+//   - the global math/rand generator (rand.Intn, rand.Float64, ...) —
+//     randomness must flow through a rand.New(rand.NewSource(seed))
+//     instance so the seed governs every draw;
+//   - accumulating a slice from a map range without sorting it afterwards
+//     in the same block — map iteration order would leak into the output.
+//
+// The paths argument lists the package import paths the analyzer covers;
+// empty means every package it is run on.
+func Detclock(paths ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "detclock",
+		Doc:   "forbid ambient clocks, global RNG and map-order-dependent output in deterministic packages",
+		Match: matchPaths(paths),
+	}
+	a.Run = runDetclock
+	return a
+}
+
+// matchPaths builds a Match predicate accepting exactly the given import
+// paths (nil for an empty list, i.e. match everything).
+func matchPaths(paths []string) func(string) bool {
+	if len(paths) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}
+
+// allowedRandConstructors may be called anywhere: they build seeded
+// generators rather than drawing from the global one.
+var allowedRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// forbiddenTimeFuncs reach for the wall clock or real timers.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+func runDetclock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				p.checkDetCall(call)
+			}
+			if block, ok := n.(*ast.BlockStmt); ok {
+				p.checkMapOrder(block.List)
+			}
+			if cc, ok := n.(*ast.CaseClause); ok {
+				p.checkMapOrder(cc.Body)
+			}
+			return true
+		})
+	}
+}
+
+// pkgFuncCall returns the package path and function name of a call to a
+// package-level function (rand.Intn, time.Now, ...), or "" otherwise.
+func (p *Pass) pkgFuncCall(call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+func (p *Pass) checkDetCall(call *ast.CallExpr) {
+	pkgPath, name := p.pkgFuncCall(call)
+	switch {
+	case pkgPath == "time" && forbiddenTimeFuncs[name]:
+		p.Reportf(call.Pos(),
+			"ambient clock: time.%s in a deterministic package; drive the simulation with explicit timestamps", name)
+	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !allowedRandConstructors[name]:
+		p.Reportf(call.Pos(),
+			"global RNG: rand.%s in a deterministic package; draw from a seeded *rand.Rand instead", name)
+	}
+}
+
+// checkMapOrder flags `for ... range m { s = append(s, ...) }` over a map
+// when no later statement in the same block sorts s: the slice would carry
+// map iteration order into the output.
+func (p *Pass) checkMapOrder(stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		if t := p.Info.TypeOf(rng.X); t == nil {
+			continue
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		for _, target := range appendTargets(rng.Body) {
+			if sortedLater(stmts[i+1:], target) {
+				continue
+			}
+			p.Reportf(rng.Pos(),
+				"map iteration appends to %q without a later sort in this block; map order would leak into the output", target)
+		}
+	}
+}
+
+// appendTargets lists identifiers assigned via append(...) inside body.
+func appendTargets(body *ast.BlockStmt) []string {
+	var out []string
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+				continue
+			}
+			if i >= len(asg.Lhs) {
+				continue
+			}
+			if id, ok := asg.Lhs[i].(*ast.Ident); ok && !seen[id.Name] {
+				seen[id.Name] = true
+				out = append(out, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedLater reports whether a later statement calls into package sort (or
+// slices.Sort*) mentioning name.
+func sortedLater(stmts []ast.Stmt, name string) bool {
+	for _, stmt := range stmts {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				mentioned := false
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok && id.Name == name {
+						mentioned = true
+					}
+					return !mentioned
+				})
+				if mentioned {
+					found = true
+					break
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatcmp flags == and != between floating-point values in the numeric
+// packages (matrix decompositions, summaries): after any arithmetic,
+// equality is a rounding accident, and the calibration pipelines need
+// tolerance comparisons (math.Abs(a-b) < eps) instead. Exact-zero guards
+// that are genuinely about the bit pattern (sparsity skips, division
+// guards) must carry a //lint:allow floatcmp justification.
+func Floatcmp(paths ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "floatcmp",
+		Doc:   "flag ==/!= on floating-point values where tolerance comparison is required",
+		Match: matchPaths(paths),
+	}
+	a.Run = runFloatcmp
+	return a
+}
+
+func runFloatcmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+				return true
+			}
+			// Two compile-time constants compare exactly by definition.
+			if p.isConst(be.X) && p.isConst(be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison; use a tolerance (math.Abs(a-b) < eps) or justify with //lint:allow floatcmp", be.Op)
+			return true
+		})
+	}
+}
+
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Golden-file tests: each testdata/<analyzer> directory is a standalone
+// package whose sources carry `// want "substr"` markers on the lines the
+// analyzer must flag (several markers on one line when several findings
+// land there). The test fails on any unmatched marker (missed diagnostic)
+// and on any finding without a marker (false positive), so the testdata
+// doubles as the analyzer's behavioral spec — including the lines with a
+// //lint:allow directive and no marker, which pin the suppression path.
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+type goldenWant struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// collectWants scans the package sources for want markers.
+func collectWants(t *testing.T, dir string) []*goldenWant {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	var wants []*goldenWant
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, comment, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch("want "+comment, -1) {
+				wants = append(wants, &goldenWant{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads testdata/<name> as a standalone package, runs the
+// analyzer with path gating cleared, and matches findings against markers.
+func runGolden(t *testing.T, name string, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	a.Match = nil // testdata package paths never match real module paths
+	findings := Run([]*Analyzer{a}, []*Package{pkg})
+	wants := collectWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("no want markers in %s", dir)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding (false positive or unmarked): %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s finding containing %q", w.file, w.line, a.Name, w.substr)
+		}
+	}
+}
+
+func TestLockscopeGolden(t *testing.T)  { runGolden(t, "lockscope", Lockscope()) }
+func TestDetclockGolden(t *testing.T)   { runGolden(t, "detclock", Detclock()) }
+func TestWirestructGolden(t *testing.T) { runGolden(t, "wirestruct", Wirestruct()) }
+func TestErrdropGolden(t *testing.T)    { runGolden(t, "errdrop", Errdrop()) }
+func TestFloatcmpGolden(t *testing.T)   { runGolden(t, "floatcmp", Floatcmp()) }
+
+// TestModuleClean runs the full suite over the real module, pinning the
+// tree to zero findings — the same gate CI applies via cmd/cloudgraph-vet.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow under -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(Suite(), pkgs)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

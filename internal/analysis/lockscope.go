@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockscope flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: channel sends and receives, selects without a
+// default case, known-blocking stdlib calls (WaitGroup.Wait, Cond.Wait,
+// time.Sleep), and invocations of function-typed struct fields (callbacks,
+// whose bodies the lock holder does not control). Calls to same-package
+// functions that transitively perform any of those are flagged too.
+//
+// This is exactly the shape of PR 1's races: Pipeline.Ingest sending on a
+// worker channel while racing Close, and window callbacks invoked under the
+// engine lock, where a callback calling back into the engine deadlocks (Go
+// mutexes are not reentrant).
+func Lockscope() *Analyzer {
+	a := &Analyzer{
+		Name: "lockscope",
+		Doc:  "flag channel operations and callback invocations made while a mutex is held",
+	}
+	a.Run = func(p *Pass) { runLockscope(p) }
+	return a
+}
+
+// blockReason explains why a function or statement is considered blocking.
+type blockReason struct {
+	pos  token.Pos
+	desc string
+}
+
+type lockscopePass struct {
+	*Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// blocking maps each same-package function to the reason it may block,
+	// directly or via same-package callees.
+	blocking map[*types.Func]*blockReason
+}
+
+func runLockscope(p *Pass) {
+	lp := &lockscopePass{
+		Pass:     p,
+		decls:    make(map[*types.Func]*ast.FuncDecl),
+		blocking: make(map[*types.Func]*blockReason),
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					lp.decls[fn] = fd
+				}
+			}
+		}
+	}
+	// Seed with directly blocking functions, then propagate through the
+	// same-package call graph to a fixed point.
+	for fn, fd := range lp.decls {
+		if r := lp.directBlock(fd.Body); r != nil {
+			lp.blocking[fn] = r
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range lp.decls {
+			if lp.blocking[fn] != nil {
+				continue
+			}
+			for _, callee := range lp.callees(fd.Body) {
+				if r := lp.blocking[callee]; r != nil {
+					lp.blocking[fn] = &blockReason{
+						pos:  r.pos,
+						desc: fmt.Sprintf("calls %s, which %s", callee.Name(), r.desc),
+					}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fd := range lp.decls {
+		lp.scanStmts(fd.Body.List, map[string]bool{})
+	}
+}
+
+// directBlock returns the first directly blocking operation in body, not
+// descending into function literals (their bodies run later, typically on
+// another goroutine).
+func (lp *lockscopePass) directBlock(body ast.Node) *blockReason {
+	var found *blockReason
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			found = &blockReason{pos: n.Pos(), desc: "sends on a channel"}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = &blockReason{pos: n.Pos(), desc: "receives from a channel"}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				found = &blockReason{pos: n.Pos(), desc: "selects without a default case"}
+			}
+			return false
+		case *ast.CallExpr:
+			if desc := lp.blockingCallDesc(n); desc != "" {
+				found = &blockReason{pos: n.Pos(), desc: desc}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCallDesc describes call if it is intrinsically blocking: a
+// callback stored in a struct field, or a known-blocking stdlib call.
+func (lp *lockscopePass) blockingCallDesc(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := lp.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if _, isFunc := s.Type().Underlying().(*types.Signature); isFunc {
+			return fmt.Sprintf("invokes the %s callback", sel.Sel.Name)
+		}
+	}
+	if fn := lp.calleeFunc(call); fn != nil && fn.Pkg() != nil {
+		// WaitGroup.Wait and Cond.Wait both resolve to sync.Wait here.
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "sync.Wait", "time.Sleep":
+			return "calls " + fn.Pkg().Path() + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves the static callee of call, if any.
+func (lp *lockscopePass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := lp.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := lp.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// callees lists the same-package functions statically called from body,
+// excluding calls inside function literals.
+func (lp *lockscopePass) callees(body ast.Node) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := lp.calleeFunc(call); fn != nil {
+				if _, local := lp.decls[fn]; local {
+					out = append(out, fn)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp classifies a call as a Lock/Unlock-family method on a
+// sync.Mutex/RWMutex and returns the lock's identity: the source text of the
+// value the method is called on (e.g. "e.mu", "sh.mu").
+func (lp *lockscopePass) mutexOp(call *ast.CallExpr) (key, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := lp.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return exprText(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// exprText renders a selector chain like e.cfg.mu; unrenderable expressions
+// get a stable placeholder.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return exprText(e.X)
+	default:
+		return "(expr)"
+	}
+}
+
+// scanStmts walks a statement list tracking which mutexes are held, and
+// reports blocking operations that occur while any lock is active. Locks
+// acquired inside a nested block are tracked within that block only; a
+// deferred Unlock leaves the lock held through the rest of the function,
+// which is exactly the window the analyzer cares about.
+func (lp *lockscopePass) scanStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, method := lp.mutexOp(call); key != "" {
+					switch method {
+					case "Lock", "RLock":
+						held[key] = true
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() does not end the critical section here.
+			if key, method := lp.mutexOp(s.Call); key != "" && (method == "Unlock" || method == "RUnlock") {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			lp.checkStmt(stmt, held)
+		}
+		// Recurse into nested blocks with an isolated copy so inner
+		// lock/unlock pairs are scoped to their block.
+		for _, nested := range nestedStmtLists(stmt) {
+			inner := make(map[string]bool, len(held))
+			for k := range held {
+				inner[k] = true
+			}
+			lp.scanStmts(nested, inner)
+		}
+	}
+}
+
+// nestedStmtLists returns the statement lists directly nested in stmt.
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	add := func(b *ast.BlockStmt) {
+		if b != nil {
+			out = append(out, b.List)
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		add(s)
+	case *ast.IfStmt:
+		add(s.Body)
+		if e, ok := s.Else.(*ast.BlockStmt); ok {
+			add(e)
+		} else if e, ok := s.Else.(*ast.IfStmt); ok {
+			out = append(out, nestedStmtLists(e)...)
+		}
+	case *ast.ForStmt:
+		add(s.Body)
+	case *ast.RangeStmt:
+		add(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// checkStmt reports blocking operations in stmt (not descending into nested
+// blocks — scanStmts recurses into those itself — or function literals)
+// while the locks in held are active.
+func (lp *lockscopePass) checkStmt(stmt ast.Stmt, held map[string]bool) {
+	locks := heldNames(held)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if n != stmt {
+				return false // scanStmts recurses with lock scoping
+			}
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			lp.Reportf(n.Pos(), "channel send while %s is held", locks)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lp.Reportf(n.Pos(), "channel receive while %s is held", locks)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				lp.Reportf(n.Pos(), "blocking select while %s is held", locks)
+			}
+			return false
+		case *ast.CallExpr:
+			if key, _ := lp.mutexOp(n); key != "" {
+				return true
+			}
+			if desc := lp.blockingCallDesc(n); desc != "" {
+				lp.Reportf(n.Pos(), "%s while %s is held", desc, locks)
+				return true
+			}
+			if fn := lp.calleeFunc(n); fn != nil {
+				if r := lp.blocking[fn]; r != nil {
+					lp.Reportf(n.Pos(), "call to %s while %s is held: %s %s",
+						fn.Name(), locks, fn.Name(), r.desc)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,61 @@
+// Package detclock is the golden-file input for the detclock analyzer:
+// ambient clocks, the global RNG, and map-iteration order leaking into
+// output in packages that must be deterministic.
+package detclock
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Sim is driven by explicit timestamps and a seeded generator — the shape
+// the analyzer wants.
+type Sim struct {
+	now time.Time
+	rng *rand.Rand
+}
+
+// NewSim builds a seeded simulation; the rand constructors are allowed
+// anywhere.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))} // ok: seeded constructor
+}
+
+func (s *Sim) step() time.Duration {
+	start := time.Now()    // want "ambient clock: time.Now"
+	d := time.Since(start) // want "ambient clock: time.Since"
+	time.Sleep(d)          // want "ambient clock: time.Sleep"
+	return d
+}
+
+func (s *Sim) draw() int {
+	n := rand.Intn(10)        // want "global RNG: rand.Intn"
+	return n + s.rng.Intn(10) // ok: drawing from the seeded instance
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration appends to"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: sorted later in the same block
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	//lint:allow detclock golden test of the suppression path
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Package errdrop is the golden-file input for the errdrop analyzer:
+// silently discarded error returns.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fail() error { return errBoom }
+
+func failPair() (int, error) { return 0, errBoom }
+
+func dropStmt() {
+	fail() // want "error return of fail discarded"
+}
+
+func dropBlank() {
+	_ = fail() // want "error value assigned to _"
+}
+
+func dropPair() {
+	n, _ := failPair() // want "error result of failPair assigned to _"
+	_ = n
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := failPair() // ok: error bound and checked
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+func deferred() {
+	defer fail() // ok: deferred calls are exempt
+}
+
+func builder() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1) // ok: Builder writes cannot fail
+	b.WriteString("y")         // ok: Builder method
+	return b.String()
+}
+
+func suppressed() {
+	//lint:allow errdrop golden test of the suppression path
+	fail()
+}

@@ -1,0 +1,38 @@
+// Package floatcmp is the golden-file input for the floatcmp analyzer:
+// ==/!= on floating-point values.
+package floatcmp
+
+func equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+const eps = 1e-9
+
+func constants() bool {
+	return eps == 1e-9 // ok: two compile-time constants compare exactly
+}
+
+func tolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps // ok: tolerance comparison, not equality
+}
+
+func suppressed(total float64) bool {
+	//lint:allow floatcmp golden test of the suppression path
+	return total == 0
+}

@@ -1,0 +1,53 @@
+// Package wirestruct is the golden-file input for the wirestruct analyzer:
+// wire-schema structs must use keyed literals and their codecs must cover
+// every field.
+package wirestruct
+
+// Frame is a wire type crossing a process boundary.
+//
+//wire:schema
+type Frame struct {
+	Seq   uint64
+	Len   uint32
+	Flags uint16
+}
+
+// Encode references every field of Frame.
+//
+//wire:codec Frame
+func Encode(f Frame) []byte {
+	out := make([]byte, 0, 14)
+	out = append(out, byte(f.Seq), byte(f.Len), byte(f.Flags))
+	return out
+}
+
+// DecodeFlags silently drops Seq and Len.
+//
+//wire:codec Frame
+func DecodeFlags(b []byte) Frame { // want "does not reference field Seq" want "does not reference field Len"
+	var f Frame
+	f.Flags = uint16(b[0])
+	return f
+}
+
+func unkeyed() Frame {
+	return Frame{1, 2, 3} // want "unkeyed composite literal of wire type Frame"
+}
+
+func keyed() Frame {
+	return Frame{Seq: 1, Len: 2, Flags: 3} // ok: keyed literal
+}
+
+func zero() Frame {
+	return Frame{} // ok: the zero value has no positional fields to shift
+}
+
+// Plain is not marked; unkeyed literals are fine.
+type Plain struct{ A, B int }
+
+func plain() Plain { return Plain{1, 2} }
+
+func suppressed() Frame {
+	//lint:allow wirestruct golden test of the suppression path
+	return Frame{7, 8, 9}
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Wirestruct guards the wire schema (Table 2 of the paper and the analytics
+// protocol) against silent encoder/decoder desync during schema evolution.
+// Struct types marked with a `//wire:schema` doc-comment line are wire
+// types; the analyzer rejects
+//
+//   - unkeyed composite literals of a wire type anywhere in the module: a
+//     field inserted mid-struct would silently shift every positional
+//     value, the classic frame-desync seed;
+//   - codec functions (marked `//wire:codec TypeName`) that do not
+//     reference every field of their wire type: adding a field to the
+//     struct without teaching the encoder and decoder about it would drop
+//     it on the wire.
+//
+// Each Wirestruct instance keeps its own registry of marked types; packages
+// are analyzed in dependency order, so a wire type is registered before any
+// importing package's literals are checked.
+func Wirestruct() *Analyzer {
+	registry := make(map[string]bool)
+	a := &Analyzer{
+		Name: "wirestruct",
+		Doc:  "require keyed literals for wire-schema structs and full field coverage in their codecs",
+	}
+	a.Run = func(p *Pass) { runWirestruct(p, registry) }
+	return a
+}
+
+const (
+	schemaMarker = "//wire:schema"
+	codecMarker  = "//wire:codec"
+)
+
+// wireTypeNames collects the named struct types in the package marked with
+// //wire:schema.
+func wireTypeNames(p *Pass) map[*types.TypeName]bool {
+	marked := make(map[*types.TypeName]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !hasMarkerLine(doc, schemaMarker) {
+					continue
+				}
+				if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+					marked[tn] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func hasMarkerLine(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// markerArg returns the first argument of a marker line ("//wire:codec
+// Record" -> "Record"), or "".
+func markerArg(doc *ast.CommentGroup, marker string) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), marker+" "); ok {
+			arg, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			return arg
+		}
+	}
+	return ""
+}
+
+func runWirestruct(p *Pass, registry map[string]bool) {
+	for tn := range wireTypeNames(p) {
+		registry[typeKey(tn)] = true
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(cl)
+			if t == nil {
+				return true
+			}
+			named, ok := derefNamed(t)
+			if !ok {
+				return true
+			}
+			if !registry[typeKey(named.Obj())] {
+				return true
+			}
+			if len(cl.Elts) == 0 {
+				return true // zero value: no positional fields to shift
+			}
+			if _, keyed := cl.Elts[0].(*ast.KeyValueExpr); keyed {
+				return true
+			}
+			p.Reportf(cl.Pos(),
+				"unkeyed composite literal of wire type %s: positional fields desync when the schema evolves; use field names",
+				named.Obj().Name())
+			return true
+		})
+	}
+
+	// Codec coverage: a function marked //wire:codec T must reference every
+	// field of T.
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			typeName := markerArg(fd.Doc, codecMarker)
+			if typeName == "" {
+				continue
+			}
+			obj := p.Pkg.Scope().Lookup(typeName)
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				p.Reportf(fd.Pos(), "wire:codec %s: no such type in package %s", typeName, p.Pkg.Name())
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				p.Reportf(fd.Pos(), "wire:codec %s: not a struct type", typeName)
+				continue
+			}
+			mentioned := identNames(fd.Body)
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if !mentioned[field.Name()] {
+					p.Reportf(fd.Pos(),
+						"codec %s does not reference field %s of wire type %s: the field would be dropped on the wire",
+						fd.Name.Name, field.Name(), typeName)
+				}
+			}
+		}
+	}
+}
+
+// typeKey names a type by package path + name for the wire registry.
+func typeKey(tn *types.TypeName) string {
+	pkg := ""
+	if tn.Pkg() != nil {
+		pkg = tn.Pkg().Path()
+	}
+	return pkg + "." + tn.Name()
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return nil, false
+	}
+	return named, true
+}
+
+// identNames collects every identifier name in n: selector fields, keyed
+// literal keys and plain uses alike, which is exactly the "does this codec
+// mention the field at all" question.
+func identNames(n ast.Node) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}

@@ -33,11 +33,24 @@ func Dial(addr string) (*Client, error) {
 	}, nil
 }
 
-// Close sends QUIT and closes the connection.
+// Close sends QUIT and closes the connection. A QUIT write failure is
+// reported in preference to the close error, which is usually a
+// consequence of the same broken connection.
 func (c *Client) Close() error {
-	fmt.Fprintf(c.w, "QUIT\n")
-	c.w.Flush()
-	return c.conn.Close()
+	werr := c.send("QUIT\n")
+	cerr := c.conn.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// send writes one command line and flushes it to the server.
+func (c *Client) send(format string, args ...any) error {
+	if _, err := fmt.Fprintf(c.w, format, args...); err != nil {
+		return err
+	}
+	return c.w.Flush()
 }
 
 // readLine reads one response line, translating ERR responses to errors.
@@ -55,7 +68,9 @@ func (c *Client) readLine() (string, error) {
 
 // Ingest streams a batch of records.
 func (c *Client) Ingest(recs []flowlog.Record) error {
-	fmt.Fprintf(c.w, "INGEST %d\n", len(recs))
+	if _, err := fmt.Fprintf(c.w, "INGEST %d\n", len(recs)); err != nil {
+		return err
+	}
 	buf := make([]byte, 0, flowlog.WireSize)
 	for _, r := range recs {
 		buf = flowlog.AppendBinary(buf[:0], r)
@@ -79,8 +94,9 @@ func (c *Client) Ingest(recs []flowlog.Record) error {
 
 // Flush closes open windows server-side and returns the window count.
 func (c *Client) Flush() (int, error) {
-	fmt.Fprintf(c.w, "FLUSH\n")
-	c.w.Flush()
+	if err := c.send("FLUSH\n"); err != nil {
+		return 0, err
+	}
 	line, err := c.readLine()
 	if err != nil {
 		return 0, err
@@ -90,8 +106,9 @@ func (c *Client) Flush() (int, error) {
 
 // jsonCmd sends a command and decodes the JSON line response into out.
 func (c *Client) jsonCmd(cmd string, out any) error {
-	fmt.Fprintf(c.w, "%s\n", cmd)
-	c.w.Flush()
+	if err := c.send("%s\n", cmd); err != nil {
+		return err
+	}
 	line, err := c.readLine()
 	if err != nil {
 		return err

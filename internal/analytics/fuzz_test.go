@@ -1,0 +1,73 @@
+package analytics
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+)
+
+// FuzzDecodeFrame drives readBatch, the decoder behind INGEST, with
+// arbitrary batch counts and frame bytes. The invariant under test is the
+// mid-batch decode-error fix from PR 1: once the header has promised n
+// frames and the stream holds them, readBatch consumes exactly
+// n*flowlog.WireSize bytes whether decoding succeeds or fails, so the
+// command stream behind the batch never desyncs into parsing frame bytes
+// as commands.
+func FuzzDecodeFrame(f *testing.F) {
+	rec := flowlog.Record{
+		Time:        time.Unix(1700000000, 0).UTC(),
+		LocalIP:     netip.MustParseAddr("10.0.0.1"),
+		LocalPort:   443,
+		RemoteIP:    netip.MustParseAddr("10.0.0.2"),
+		RemotePort:  55000,
+		PacketsSent: 12,
+		PacketsRcvd: 8,
+		BytesSent:   4096,
+		BytesRcvd:   512,
+	}
+	valid := flowlog.AppendBinary(nil, rec)
+	valid = flowlog.AppendBinary(valid, rec.Reverse())
+	f.Add(uint8(2), valid)
+	// A zeroed middle frame decodes with an error (unspecified address):
+	// the PR-1 path where the rest of the batch must still be drained.
+	corrupt := append([]byte(nil), valid...)
+	for i := 0; i < flowlog.WireSize; i++ {
+		corrupt[i] = 0
+	}
+	f.Add(uint8(2), corrupt)
+	f.Add(uint8(3), corrupt) // declared count exceeds the data: short stream
+	f.Add(uint8(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, count uint8, data []byte) {
+		n := int(count % 17)
+		r := bytes.NewReader(data)
+		batch, err := readBatch(r, n)
+		consumed := len(data) - r.Len()
+		want := n * flowlog.WireSize
+		if len(data) >= want {
+			if consumed != want {
+				t.Fatalf("n=%d len=%d: consumed %d bytes, want %d (err=%v)",
+					n, len(data), consumed, want, err)
+			}
+		} else if err == nil {
+			t.Fatalf("n=%d: readBatch succeeded with only %d of %d bytes", n, len(data), want)
+		}
+		if err != nil {
+			return
+		}
+		if len(batch) != n {
+			t.Fatalf("n=%d: got %d records", n, len(batch))
+		}
+		// Successful decodes re-encode to the exact consumed bytes.
+		var enc []byte
+		for _, rec := range batch {
+			enc = flowlog.AppendBinary(enc, rec)
+		}
+		if !bytes.Equal(enc, data[:consumed]) {
+			t.Fatalf("n=%d: round-trip mismatch", n)
+		}
+	})
+}

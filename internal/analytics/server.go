@@ -89,11 +89,17 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle runs the command loop for one connection.
+// textResponse marks a handler result as a plain "OK ..." line rather
+// than a JSON document.
+type textResponse string
+
+// handle runs the command loop for one connection. Handlers compute a
+// response value; this loop is the only place responses are written, so
+// every write and flush error is checked exactly once and tears the
+// connection down.
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 256<<10)
 	w := bufio.NewWriter(conn)
-	defer w.Flush()
 	for {
 		line, err := r.ReadString('\n')
 		if err != nil {
@@ -104,77 +110,107 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		cmd := strings.ToUpper(fields[0])
+		var out any
 		var cmdErr error
 		switch cmd {
 		case "QUIT":
-			fmt.Fprintf(w, "OK bye\n")
-			w.Flush()
-			return
+			out = textResponse("OK bye")
 		case "INGEST":
-			cmdErr = s.cmdIngest(fields, r, w)
+			out, cmdErr = s.cmdIngest(fields, r)
 		case "FLUSH":
-			fmt.Fprintf(w, "OK %d\n", len(s.engine.Flush()))
+			out = textResponse(fmt.Sprintf("OK %d", len(s.engine.Flush())))
 		case "STATS":
-			cmdErr = writeJSON(w, s.stats())
+			out = s.stats()
 		case "WINDOWS":
-			cmdErr = writeJSON(w, s.windows())
+			out = s.windows()
 		case "LEARN":
-			cmdErr = s.cmdLearn(w)
+			out, cmdErr = s.cmdLearn()
 		case "SEGMENTS":
-			cmdErr = s.cmdSegments(w)
+			out, cmdErr = s.cmdSegments()
 		case "MONITOR":
-			cmdErr = s.cmdMonitor(w)
+			out, cmdErr = s.cmdMonitor()
 		case "SUMMARY":
-			cmdErr = s.cmdSummary(w)
+			out, cmdErr = s.cmdSummary()
 		case "ANOMALIES":
-			cmdErr = s.cmdAnomalies(w)
+			out = s.cmdAnomalies()
 		default:
-			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+			cmdErr = fmt.Errorf("unknown command %q", cmd)
 		}
-		if cmdErr != nil {
-			fmt.Fprintf(w, "ERR %s\n", cmdErr)
+		werr := writeResponse(w, out, cmdErr)
+		if werr == nil {
+			werr = w.Flush()
 		}
-		if err := w.Flush(); err != nil {
+		if werr != nil || cmd == "QUIT" {
 			return
 		}
 	}
+}
+
+// writeResponse emits one response line: an ERR line when the handler
+// failed, the text line for textResponse results, a JSON document
+// otherwise.
+func writeResponse(w *bufio.Writer, out any, cmdErr error) error {
+	if cmdErr != nil {
+		return writeLine(w, "ERR "+cmdErr.Error())
+	}
+	if t, ok := out.(textResponse); ok {
+		return writeLine(w, string(t))
+	}
+	return writeJSON(w, out)
 }
 
 // cmdIngest reads n binary frames and feeds them to the engine.
-func (s *Server) cmdIngest(fields []string, r *bufio.Reader, w *bufio.Writer) error {
+func (s *Server) cmdIngest(fields []string, r *bufio.Reader) (any, error) {
 	if len(fields) != 2 {
-		return errors.New("usage: INGEST <count>")
+		return nil, errors.New("usage: INGEST <count>")
 	}
 	n, err := strconv.Atoi(fields[1])
 	if err != nil || n < 0 {
-		return errors.New("bad count")
+		return nil, errors.New("bad count")
 	}
-	batch := make([]flowlog.Record, 0, n)
+	batch, err := readBatch(r, n)
+	if err != nil {
+		return nil, err
+	}
+	s.engine.Ingest(batch)
+	return textResponse(fmt.Sprintf("OK %d", n)), nil
+}
+
+// readBatch reads a declared batch of n binary flowlog frames. Its protocol
+// invariant: once the INGEST header promised n frames, exactly n*WireSize
+// bytes are consumed from r even when a frame fails to decode — leaving
+// unread frames in the stream would desync the protocol, parsing leftover
+// binary bytes as commands. Only a short read (fewer bytes than promised)
+// may leave the stream mid-batch, and that already ends the connection.
+func readBatch(r io.Reader, n int) ([]flowlog.Record, error) {
+	pre := n
+	if pre > 4096 {
+		pre = 4096 // don't let a huge declared count pre-allocate unboundedly
+	}
+	batch := make([]flowlog.Record, 0, pre)
 	var buf [flowlog.WireSize]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return fmt.Errorf("short ingest stream at record %d", i)
+			return nil, fmt.Errorf("short ingest stream at record %d", i)
 		}
 		rec, err := flowlog.DecodeBinary(buf[:])
 		if err != nil {
-			// Consume the rest of the declared batch before reporting:
-			// leaving unread frames in the stream would desync the
-			// protocol, parsing leftover binary bytes as commands.
+			// Consume the rest of the declared batch before reporting.
 			for j := i + 1; j < n; j++ {
 				if _, derr := io.ReadFull(r, buf[:]); derr != nil {
-					return fmt.Errorf("short ingest stream at record %d", j)
+					return nil, fmt.Errorf("short ingest stream at record %d", j)
 				}
 			}
-			return fmt.Errorf("record %d: %v", i, err)
+			return nil, fmt.Errorf("record %d: %v", i, err)
 		}
 		batch = append(batch, rec)
 	}
-	s.engine.Ingest(batch)
-	fmt.Fprintf(w, "OK %d\n", n)
-	return nil
+	return batch, nil
 }
 
 // Stats is the STATS response.
+//
+//wire:schema
 type Stats struct {
 	Records       int64   `json:"records"`
 	RecordsPerSec float64 `json:"records_per_sec"`
@@ -190,6 +226,8 @@ type Stats struct {
 }
 
 // ShardInfo is one shard's entry in the STATS response.
+//
+//wire:schema
 type ShardInfo struct {
 	Records int64   `json:"records"`
 	BusyMS  float64 `json:"busy_ms"`
@@ -223,6 +261,8 @@ func (s *Server) stats() Stats {
 }
 
 // WindowInfo is one entry of the WINDOWS response.
+//
+//wire:schema
 type WindowInfo struct {
 	Start string `json:"start"`
 	End   string `json:"end"`
@@ -246,42 +286,46 @@ func (s *Server) windows() []WindowInfo {
 }
 
 // LearnResult is the LEARN response.
+//
+//wire:schema
 type LearnResult struct {
 	Segments     int `json:"segments"`
 	Nodes        int `json:"nodes"`
 	AllowedPairs int `json:"allowed_pairs"`
 }
 
-func (s *Server) cmdLearn(w *bufio.Writer) error {
+func (s *Server) cmdLearn() (any, error) {
 	g := s.engine.Latest()
 	if g == nil {
-		return errors.New("no completed window to learn from (FLUSH first?)")
+		return nil, errors.New("no completed window to learn from (FLUSH first?)")
 	}
 	assign, err := s.engine.Learn(g)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	_, reach := s.engine.Baseline()
-	return writeJSON(w, LearnResult{
+	return LearnResult{
 		Segments:     assign.NumSegments(),
 		Nodes:        len(assign),
 		AllowedPairs: len(reach.AllowedPairs()),
-	})
+	}, nil
 }
 
-func (s *Server) cmdSegments(w *bufio.Writer) error {
+func (s *Server) cmdSegments() (any, error) {
 	assign, _ := s.engine.Baseline()
 	if assign == nil {
-		return errors.New("no baseline: LEARN first")
+		return nil, errors.New("no baseline: LEARN first")
 	}
 	out := make(map[string]int, len(assign))
 	for n, seg := range assign {
 		out[n.String()] = seg
 	}
-	return writeJSON(w, out)
+	return out, nil
 }
 
 // MonitorResult is the MONITOR response.
+//
+//wire:schema
 type MonitorResult struct {
 	Violations   int      `json:"violations"`
 	Alerts       int      `json:"alerts"`
@@ -289,14 +333,14 @@ type MonitorResult struct {
 	FlaggedPairs []string `json:"flagged_growth_pairs,omitempty"`
 }
 
-func (s *Server) cmdMonitor(w *bufio.Writer) error {
+func (s *Server) cmdMonitor() (any, error) {
 	g := s.engine.Latest()
 	if g == nil {
-		return errors.New("no completed window")
+		return nil, errors.New("no completed window")
 	}
 	rep := s.engine.Monitor(g)
 	if rep == nil {
-		return errors.New("no baseline: LEARN first")
+		return nil, errors.New("no baseline: LEARN first")
 	}
 	res := MonitorResult{Violations: len(rep.Violations), Alerts: rep.Alerts}
 	for _, c := range rep.Cohorts {
@@ -309,11 +353,13 @@ func (s *Server) cmdMonitor(w *bufio.Writer) error {
 			res.FlaggedPairs = append(res.FlaggedPairs, fmt.Sprintf("%d-%d", pg.Pair.A, pg.Pair.B))
 		}
 	}
-	return writeJSON(w, res)
+	return res, nil
 }
 
 // SummaryResult is the SUMMARY response: the succinct summary plus byte
 // attribution of the latest window.
+//
+//wire:schema
 type SummaryResult struct {
 	Headline    string  `json:"headline"`
 	Attribution string  `json:"attribution"`
@@ -325,14 +371,14 @@ type SummaryResult struct {
 	ScatterPct  float64 `json:"scatter_bytes_pct"`
 }
 
-func (s *Server) cmdSummary(w *bufio.Writer) error {
+func (s *Server) cmdSummary() (any, error) {
 	g := s.engine.Latest()
 	if g == nil {
-		return errors.New("no completed window")
+		return nil, errors.New("no completed window")
 	}
 	sum := summarize.Summarize(g)
 	attr := model.Attribute(g)
-	return writeJSON(w, SummaryResult{
+	return SummaryResult{
 		Headline:    sum.Headline,
 		Attribution: attr.Headline,
 		Hubs:        len(sum.Hubs),
@@ -341,10 +387,12 @@ func (s *Server) cmdSummary(w *bufio.Writer) error {
 		HubPct:      100 * attr.HubShare,
 		TailPct:     100 * attr.CollapsedShare,
 		ScatterPct:  100 * attr.ScatterShare,
-	})
+	}, nil
 }
 
 // AnomalyResult is one window's drift score in the ANOMALIES response.
+//
+//wire:schema
 type AnomalyResult struct {
 	Window    int     `json:"window"`
 	Drift     float64 `json:"drift"`
@@ -353,7 +401,7 @@ type AnomalyResult struct {
 	Anomalous bool    `json:"anomalous"`
 }
 
-func (s *Server) cmdAnomalies(w *bufio.Writer) error {
+func (s *Server) cmdAnomalies() []AnomalyResult {
 	scores := s.engine.Anomalies(summarize.AnomalyOptions{})
 	out := make([]AnomalyResult, 0, len(scores))
 	for _, sc := range scores {
@@ -363,7 +411,15 @@ func (s *Server) cmdAnomalies(w *bufio.Writer) error {
 			Anomalous: sc.Anomalous,
 		})
 	}
-	return writeJSON(w, out)
+	return out
+}
+
+// writeLine writes one text response line.
+func writeLine(w *bufio.Writer, s string) error {
+	if _, err := w.WriteString(s); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
 }
 
 // writeJSON writes one compact JSON line.
@@ -372,6 +428,8 @@ func writeJSON(w *bufio.Writer, v any) error {
 	if err != nil {
 		return err
 	}
-	w.Write(b)
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
 	return w.WriteByte('\n')
 }

@@ -42,7 +42,10 @@ type Config struct {
 	// identical at any width. Default 1.
 	Shards int
 	// OnWindow, when set, is called with each completed (and collapsed)
-	// window — the hook durable stores attach to.
+	// window — the hook durable stores attach to. Hooks run in window
+	// order with no engine lock held except the close serializer, so a
+	// hook may use the read APIs (Windows, Latest, Monitor, Summary) but
+	// must not call Ingest or Flush.
 	OnWindow func(*graph.Graph)
 }
 
@@ -109,6 +112,7 @@ func (sh *engineShard) add(recs []flowlog.Record) time.Time {
 	sh.mu.Lock()
 	start := time.Now()
 	for _, r := range recs {
+		//lint:allow lockscope OnComplete here is always Engine.addPartial, which only takes the leaf lock pendMu; partials must queue before the shard lock releases so a window closes atomically per shard
 		sh.windower.Add(r)
 	}
 	sh.busy += time.Since(start)
@@ -127,6 +131,7 @@ func (sh *engineShard) addFiltered(recs []flowlog.Record, ids []uint8, s uint8, 
 	start := time.Now()
 	for i := range recs {
 		if ids[i] == s {
+			//lint:allow lockscope OnComplete here is always Engine.addPartial (leaf lock pendMu only); see add
 			sh.windower.Add(recs[i])
 		}
 	}
@@ -168,16 +173,21 @@ func (e *Engine) addPartial(g *graph.Graph) {
 	e.pendMu.Unlock()
 }
 
-// onWindow collapses and stores a completed, fully merged window. Caller
-// holds e.mu.
+// onWindow collapses and stores a completed, fully merged window, then
+// hands it to the OnWindow hook. The hook runs after e.mu is released so a
+// hook may call the engine's read APIs (Windows, Latest, Monitor) without
+// deadlocking on the non-reentrant mutex; window order is still serial
+// because every caller holds e.closeMu.
 func (e *Engine) onWindow(g *graph.Graph) {
 	if e.cfg.Collapse.Threshold > 0 || e.cfg.Collapse.Keep != nil {
 		g = g.Collapse(e.cfg.Collapse)
 	}
+	e.mu.Lock()
 	e.windows = append(e.windows, g)
 	if e.cfg.MaxWindows > 0 && len(e.windows) > e.cfg.MaxWindows {
 		e.windows = e.windows[len(e.windows)-e.cfg.MaxWindows:]
 	}
+	e.mu.Unlock()
 	if e.cfg.OnWindow != nil {
 		e.cfg.OnWindow(g)
 	}
@@ -233,6 +243,7 @@ func (e *Engine) advance(maxStart time.Time) {
 		return
 	}
 	e.maxStartNS.Store(ns)
+	//lint:allow lockscope closeMu serializes window closes so OnWindow fires in window order; it is never taken by the read APIs a hook may call, only by Ingest/Flush, which a hook must not reenter (documented on Config.OnWindow)
 	e.closeShards(maxStart, false)
 }
 
@@ -244,8 +255,10 @@ func (e *Engine) closeShards(cutoff time.Time, flush bool) {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 		if flush {
+			//lint:allow lockscope OnComplete is Engine.addPartial (leaf lock pendMu only); see add
 			sh.windower.Flush()
 		} else {
+			//lint:allow lockscope OnComplete is Engine.addPartial (leaf lock pendMu only); see add
 			sh.windower.CloseUpTo(cutoff)
 		}
 		sh.mu.Unlock()
@@ -276,9 +289,7 @@ func (e *Engine) mergePending(cutoff time.Time, all bool) {
 		for _, p := range parts[1:] {
 			g.Merge(p)
 		}
-		e.mu.Lock()
 		e.onWindow(g)
-		e.mu.Unlock()
 	}
 }
 
@@ -293,6 +304,7 @@ func (e *Engine) Collect(recs []flowlog.Record) error {
 // window graphs.
 func (e *Engine) Flush() []*graph.Graph {
 	e.closeMu.Lock()
+	//lint:allow lockscope closeMu keeps OnWindow ordered; see advance
 	e.closeShards(time.Time{}, true)
 	e.closeMu.Unlock()
 	return e.Windows()

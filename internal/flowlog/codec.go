@@ -24,6 +24,8 @@ import (
 
 // AppendBinary appends the fixed binary encoding of r to dst and returns the
 // extended slice. It never fails for a Valid record.
+//
+//wire:codec Record
 func AppendBinary(dst []byte, r Record) []byte {
 	var buf [WireSize]byte
 	binary.LittleEndian.PutUint64(buf[0:], uint64(r.Time.Unix()))
@@ -45,6 +47,8 @@ func AppendBinary(dst []byte, r Record) []byte {
 // record: a real connection summary always names two specific endpoints,
 // so an unspecified (all-zero) address means the frame is garbage — e.g. a
 // stream that lost alignment.
+//
+//wire:codec Record
 func DecodeBinary(b []byte) (Record, error) {
 	var r Record
 	if len(b) < WireSize {

@@ -26,6 +26,13 @@ import (
 // peer, which may or may not be monitored. Counters are from the local
 // endpoint's perspective: PacketsSent/BytesSent left the local VM,
 // PacketsRcvd/BytesRcvd arrived at it.
+//
+// Record is a wire type: its fields cross process boundaries through the
+// CSV and binary codecs, so construction must use keyed literals and every
+// codec must handle every field (enforced by cloudgraph-vet's wirestruct
+// analyzer).
+//
+//wire:schema
 type Record struct {
 	Time        time.Time
 	LocalIP     netip.Addr
@@ -91,6 +98,8 @@ func (r Record) Key() FlowKey {
 //
 // Time is formatted as Unix seconds to keep lines compact and parseable
 // across providers.
+//
+//wire:codec Record
 func (r Record) MarshalCSV() string {
 	var b strings.Builder
 	b.Grow(96)
@@ -118,6 +127,8 @@ func (r Record) MarshalCSV() string {
 var ErrBadRecord = errors.New("flowlog: malformed record")
 
 // ParseCSV parses a line produced by MarshalCSV.
+//
+//wire:codec Record
 func ParseCSV(line string) (Record, error) {
 	var r Record
 	fields := strings.Split(strings.TrimSpace(line), ",")

@@ -105,6 +105,7 @@ func (p *Pipeline) Ingest(batch []flowlog.Record) {
 	p.meter.Observe(len(batch))
 	n := len(p.workers)
 	if n == 1 {
+		//lint:allow lockscope the send must stay inside the RLock: Close holds the write lock while closing worker channels, so a send here can never hit a closed channel (the PR-1 race this guards against); workers drain concurrently, so the send cannot deadlock the RLock
 		p.workers[0].in <- batch
 		return
 	}
@@ -115,6 +116,7 @@ func (p *Pipeline) Ingest(batch []flowlog.Record) {
 	}
 	for i, s := range shards {
 		if len(s) > 0 {
+			//lint:allow lockscope send under RLock is the close-race guard; see the single-worker case above
 			p.workers[i].in <- s
 		}
 	}

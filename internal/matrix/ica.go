@@ -195,6 +195,7 @@ func mulRect(a []float64, ra, ca int, b []float64, cb int) []float64 {
 		arow := a[i*ca : (i+1)*ca]
 		orow := out[i*cb : (i+1)*cb]
 		for t, av := range arow {
+			//lint:allow floatcmp exact-zero sparsity skip: 0·brow[j] contributes nothing, so only bit-exact zeros are skipped
 			if av == 0 {
 				continue
 			}
@@ -221,6 +222,7 @@ func transpose(a []float64, r, c int) []float64 {
 // normalize scales v to unit length (no-op on the zero vector).
 func normalize(v []float64) {
 	n := math.Sqrt(Dot(v, v))
+	//lint:allow floatcmp only the bit-exact zero vector must be left unscaled; dividing by any nonzero norm is well-defined
 	if n == 0 {
 		return
 	}

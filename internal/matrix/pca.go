@@ -35,12 +35,14 @@ func (p *PCA) Reconstruct(k int) []float64 {
 	mk := make([]float64, n*n)
 	for l := 0; l < k; l++ {
 		lambda := p.Values[l]
+		//lint:allow floatcmp exact-zero skip of an empty eigenvalue; a tolerance would silently drop genuinely small signal
 		if lambda == 0 {
 			continue
 		}
 		col := Column(p.Vecs, n, l)
 		for i := 0; i < n; i++ {
 			li := lambda * col[i]
+			//lint:allow floatcmp exact-zero sparsity skip: adding 0·col[j] is a no-op, so only bit-exact zeros may be skipped
 			if li == 0 {
 				continue
 			}
@@ -69,6 +71,7 @@ func ReconErr(m, mk []float64) float64 {
 		num += math.Abs(m[i] - mk[i])
 		den += math.Abs(m[i])
 	}
+	//lint:allow floatcmp guard against dividing by an exactly-zero matrix norm; any nonzero norm is a valid denominator
 	if den == 0 {
 		return 0
 	}

@@ -54,6 +54,7 @@ func TopEigenSym(a []float64, n, k, iters int, seed int64) (values []float64, ve
 		// Deflate: work -= λ·v·vᵀ.
 		for i := 0; i < n; i++ {
 			li := lambda * v[i]
+			//lint:allow floatcmp exact-zero sparsity skip in deflation; see PCA.Reconstruct
 			if li == 0 {
 				continue
 			}

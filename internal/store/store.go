@@ -46,27 +46,32 @@ func Create(path string) (*Writer, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
+		//lint:allow errdrop best-effort cleanup; the Stat error is the one the caller needs
 		f.Close()
 		return nil, err
 	}
 	if st.Size() == 0 {
 		if _, err := f.Write(magic[:]); err != nil {
+			//lint:allow errdrop best-effort cleanup; the Write error is the one the caller needs
 			f.Close()
 			return nil, err
 		}
 		var pad [8]byte
 		if _, err := f.Write(pad[:]); err != nil {
+			//lint:allow errdrop best-effort cleanup; the Write error is the one the caller needs
 			f.Close()
 			return nil, err
 		}
 	} else {
 		var got [8]byte
 		if _, err := io.ReadFull(f, got[:]); err != nil || got != magic {
+			//lint:allow errdrop best-effort cleanup; ErrBadFormat is the error the caller needs
 			f.Close()
 			return nil, ErrBadFormat
 		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		//lint:allow errdrop best-effort cleanup; the Seek error is the one the caller needs
 		f.Close()
 		return nil, err
 	}
@@ -94,6 +99,7 @@ func (w *Writer) Count() int { return w.n }
 // Close flushes and closes the file.
 func (w *Writer) Close() error {
 	if err := w.w.Flush(); err != nil {
+		//lint:allow errdrop the Flush error is what the caller must see; the close is best-effort teardown
 		w.f.Close()
 		return err
 	}

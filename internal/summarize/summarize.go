@@ -128,6 +128,7 @@ func ChattyCliques(g *graph.Graph, minSize int, minDensity, minByteShare float64
 		minSize = 3
 	}
 	total := float64(g.TotalTraffic().Bytes)
+	//lint:allow floatcmp total is an exact uint64 byte count widened to float64; zero means an empty graph, not a rounding artifact
 	if total == 0 {
 		return nil
 	}
