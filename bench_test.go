@@ -23,6 +23,7 @@ import (
 	"cloudgraph/internal/policy"
 	"cloudgraph/internal/segment"
 	"cloudgraph/internal/summarize"
+	"cloudgraph/internal/telemetry"
 	"net/netip"
 )
 
@@ -40,8 +41,8 @@ var (
 	fixUSvc fixture // µserviceBench at scale 0.1
 )
 
-func loadFixtures(b *testing.B) {
-	b.Helper()
+func loadFixtures(tb testing.TB) {
+	tb.Helper()
 	fixOnce.Do(func() {
 		mk := func(preset string, scale float64) fixture {
 			spec, err := cluster.Preset(preset, scale)
@@ -292,6 +293,38 @@ func BenchmarkEngineIngestSharded(b *testing.B) {
 			b.ReportMetric(float64(int64(batch)*int64(b.N))/b.Elapsed().Seconds(), "records/s")
 		})
 	}
+}
+
+// BenchmarkEngineIngestTelemetry measures the telemetry tax on the engine's
+// ingest hot path: the same single-goroutine batch stream with the registry
+// disabled and enabled. The instrumented path must stay within a few
+// percent of baseline — the handles are preallocated and lock-free, so the
+// per-batch cost is a handful of atomic adds
+// (TestTelemetryOverheadWithinBudget enforces the budget).
+func BenchmarkEngineIngestTelemetry(b *testing.B) {
+	loadFixtures(b)
+	recs := fixK8s.records
+	const batch = 4096
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		e := core.NewEngine(core.Config{Window: time.Hour, Shards: 4, Telemetry: reg})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := i * batch % len(recs)
+			end := off + batch
+			if end > len(recs) {
+				end = len(recs)
+			}
+			e.Ingest(recs[off:end])
+		}
+		b.StopTimer()
+		if len(e.Flush()) == 0 {
+			b.Fatal("no windows completed")
+		}
+		b.ReportMetric(float64(int64(batch)*int64(b.N))/b.Elapsed().Seconds(), "records/s")
+	}
+	b.Run("telemetry=off", func(b *testing.B) { run(b, nil) })
+	b.Run("telemetry=on", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
 }
 
 // --- §2.1 rules: policy compilation -------------------------------------------

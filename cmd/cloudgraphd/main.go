@@ -10,6 +10,11 @@
 // Then, e.g. from graphctl or any TCP client:
 //
 //	printf 'STATS\n' | nc 127.0.0.1 7443
+//
+// A second HTTP listener (-ops, default 127.0.0.1:9443) serves operational
+// views of the running daemon: Prometheus metrics on /metrics, liveness on
+// /healthz, profiling on /debug/pprof/ and the latest window's adjacency
+// heatmap on /graphz.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/store"
+	"cloudgraph/internal/telemetry"
 )
 
 func main() {
@@ -38,10 +44,12 @@ func main() {
 		maxWin   = flag.Int("max-windows", 48, "retained window history (0 = unlimited)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "ingest shards: concurrent connections fold records in parallel, one flow-key shard per worker")
 		storeTo  = flag.String("store", "", "append completed windows to this store file (graphctl history reads it)")
+		opsAddr  = flag.String("ops", "127.0.0.1:9443", "ops HTTP address serving /metrics, /healthz, /debug/pprof/ and /graphz (empty disables)")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers}
+	reg := telemetry.NewRegistry()
+	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers, Telemetry: reg}
 	switch *facet {
 	case "ip":
 		cfg.Facet = graph.FacetIP
@@ -59,9 +67,14 @@ func main() {
 			log.Fatal(err)
 		}
 		defer w.Close()
+		w.Instrument(reg)
 		cfg.OnWindow = func(g *graph.Graph) {
 			if err := w.Append(g); err != nil {
 				log.Printf("store append: %v", err)
+				return
+			}
+			if err := w.Sync(); err != nil {
+				log.Printf("store sync: %v", err)
 			}
 		}
 		log.Printf("persisting windows to %s", *storeTo)
@@ -72,6 +85,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (window=%v facet=%s collapse=%g workers=%d)", srv.Addr(), *window, *facet, *collapse, *workers)
+
+	if *opsAddr != "" {
+		ops, err := telemetry.ServeOps(*opsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ops.Close()
+		ops.Handle("/graphz", analytics.GraphzHandler(srv.Engine()))
+		log.Printf("ops endpoint on http://%s (/metrics /healthz /debug/pprof/ /graphz)", ops.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

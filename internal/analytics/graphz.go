@@ -1,0 +1,50 @@
+package analytics
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cloudgraph/internal/core"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/heatmap"
+)
+
+// GraphzHandler serves the latest completed window as an adjacency heatmap
+// — the ops-endpoint rendering of Figure 4. The default is ASCII art sized
+// by ?size= (at most size characters wide, default 64); ?format=pgm returns
+// a binary PGM image instead, one pixel per node pair.
+func GraphzHandler(e *core.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		g := e.Latest()
+		if g == nil {
+			http.Error(w, "no completed window yet", http.StatusNotFound)
+			return
+		}
+		adj := g.AdjacencyMatrix(graph.Bytes)
+		if req.URL.Query().Get("format") == "pgm" {
+			w.Header().Set("Content-Type", "image/x-portable-graymap")
+			if _, err := w.Write(heatmap.PGM(adj.M, adj.N)); err != nil {
+				return
+			}
+			return
+		}
+		size := 64
+		if v := req.URL.Query().Get("size"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > 512 {
+				http.Error(w, "size must be 1..512", http.StatusBadRequest)
+				return
+			}
+			size = n
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		header := fmt.Sprintf("window [%s, %s) — %d nodes, %d edges (bytes, log scale)\n",
+			g.Start.UTC().Format("2006-01-02T15:04:05Z"),
+			g.End.UTC().Format("2006-01-02T15:04:05Z"),
+			g.NumNodes(), g.NumEdges())
+		if _, err := w.Write([]byte(header + heatmap.ASCII(adj.M, adj.N, size))); err != nil {
+			return
+		}
+	})
+}

@@ -25,33 +25,100 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/model"
 	"cloudgraph/internal/summarize"
+	"cloudgraph/internal/telemetry"
 )
+
+// Options tunes the server's per-connection robustness limits.
+type Options struct {
+	// IdleTimeout closes a connection that sends no complete command (or
+	// stalls mid-INGEST-batch) for this long. Zero means 5 minutes.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response to a peer that has stopped
+	// reading. Zero means 1 minute.
+	WriteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = time.Minute
+	}
+	return o
+}
+
+// serverMetrics holds the service-endpoint telemetry handles, preallocated
+// at startup (all nil when telemetry is off).
+type serverMetrics struct {
+	conns     *telemetry.Counter
+	active    *telemetry.Gauge
+	frames    *telemetry.Counter
+	protoErrs *telemetry.Counter
+	timeouts  *telemetry.Counter
+}
+
+func (m *serverMetrics) instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.conns = reg.Counter("cloudgraph_analytics_connections_total",
+		"connections accepted by the analytics endpoint")
+	m.active = reg.Gauge("cloudgraph_analytics_active_connections",
+		"connections currently being served")
+	m.frames = reg.Counter("cloudgraph_analytics_frames_decoded_total",
+		"binary flowlog frames decoded from INGEST batches")
+	m.protoErrs = reg.Counter("cloudgraph_analytics_protocol_errors_total",
+		"commands rejected with an ERR response")
+	m.timeouts = reg.Counter("cloudgraph_analytics_conn_timeouts_total",
+		"connections closed by the idle or write deadline")
+}
 
 // Server is a running analytics service.
 type Server struct {
 	engine *core.Engine
 	ln     net.Listener
+	opts   Options
+	tel    serverMetrics
 	wg     sync.WaitGroup
+
+	// mu guards closed and conns. Tracking live connections lets Close
+	// tear down stalled peers instead of waiting out their deadlines.
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by a fresh
-// engine with the given config.
+// engine with the given config, using default Options.
 func Serve(addr string, cfg core.Config) (*Server, error) {
+	return ServeWith(addr, cfg, Options{})
+}
+
+// ServeWith is Serve with explicit robustness options. The server's
+// endpoint metrics register in cfg.Telemetry alongside the engine's.
+func ServeWith(addr string, cfg core.Config, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{engine: core.NewEngine(cfg), ln: ln}
+	s := &Server{
+		engine: core.NewEngine(cfg),
+		ln:     ln,
+		opts:   opts.withDefaults(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.tel.instrument(cfg.Telemetry)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -63,12 +130,22 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Engine exposes the underlying engine (e.g. for in-process inspection).
 func (s *Server) Engine() *core.Engine { return s.engine }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, force-closes live connections (a stalled peer
+// must not pin shutdown until its deadline fires) and waits for the
+// handlers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	for _, c := range conns {
+		//lint:allow errdrop force-close at shutdown; the handler observes the error and exits
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -80,13 +157,34 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			//lint:allow errdrop racing accept at shutdown; nothing was written yet
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.tel.conns.Add(1)
+		s.tel.active.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer s.dropConn(conn)
 			s.handle(conn)
 		}()
 	}
+}
+
+// dropConn untracks and closes a finished connection.
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.tel.active.Add(-1)
+	//lint:allow errdrop teardown close; any read/write error already ended the command loop
+	conn.Close()
 }
 
 // textResponse marks a handler result as a plain "OK ..." line rather
@@ -101,8 +199,17 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 256<<10)
 	w := bufio.NewWriter(conn)
 	for {
+		// The read deadline is absolute, so it also bounds the binary
+		// batch an INGEST command goes on to read: a peer that stalls
+		// mid-batch is cut off just like one that stops sending commands.
+		if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+			return
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.tel.timeouts.Add(1)
+			}
 			return
 		}
 		fields := strings.Fields(strings.TrimSpace(line))
@@ -136,11 +243,23 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			cmdErr = fmt.Errorf("unknown command %q", cmd)
 		}
+		if cmdErr != nil {
+			s.tel.protoErrs.Add(1)
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
+			return
+		}
 		werr := writeResponse(w, out, cmdErr)
 		if werr == nil {
 			werr = w.Flush()
 		}
-		if werr != nil || cmd == "QUIT" {
+		if werr != nil {
+			if errors.Is(werr, os.ErrDeadlineExceeded) {
+				s.tel.timeouts.Add(1)
+			}
+			return
+		}
+		if cmd == "QUIT" {
 			return
 		}
 	}
@@ -173,6 +292,7 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader) (any, error) {
 		return nil, err
 	}
 	s.engine.Ingest(batch)
+	s.tel.frames.Add(int64(n))
 	return textResponse(fmt.Sprintf("OK %d", n)), nil
 }
 

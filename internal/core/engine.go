@@ -13,6 +13,7 @@ import (
 	"cloudgraph/internal/policy"
 	"cloudgraph/internal/segment"
 	"cloudgraph/internal/summarize"
+	"cloudgraph/internal/telemetry"
 )
 
 // Config parameterizes an Engine.
@@ -47,6 +48,12 @@ type Config struct {
 	// hook may use the read APIs (Windows, Latest, Monitor, Summary) but
 	// must not call Ingest or Flush.
 	OnWindow func(*graph.Graph)
+	// Telemetry, when set, receives the engine's metrics: per-shard
+	// ingest counts, window merge latency, OnWindow hook duration, open
+	// and pending-merge window gauges, and the shared ingest counters.
+	// Handles are preallocated at construction and lock-free on the hot
+	// path; nil disables instrumentation for the cost of a branch.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) defaults() {
@@ -88,6 +95,10 @@ type Engine struct {
 	// windowers, keyed by window start, awaiting the cross-shard merge.
 	pendMu  sync.Mutex
 	pending map[int64][]*graph.Graph
+
+	// tel holds the preallocated metric handles (all nil when
+	// Config.Telemetry is unset).
+	tel engineMetrics
 
 	mu      sync.Mutex
 	windows []*graph.Graph // collapsed, completed windows in order
@@ -161,6 +172,7 @@ func NewEngine(cfg Config) *Engine {
 		w.OnComplete = e.addPartial
 		e.shards = append(e.shards, &engineShard{windower: w})
 	}
+	e.instrument(cfg.Telemetry)
 	return e
 }
 
@@ -188,8 +200,11 @@ func (e *Engine) onWindow(g *graph.Graph) {
 		e.windows = e.windows[len(e.windows)-e.cfg.MaxWindows:]
 	}
 	e.mu.Unlock()
+	e.tel.windows.Add(1)
 	if e.cfg.OnWindow != nil {
+		sp := telemetry.StartSpan(e.tel.hook)
 		e.cfg.OnWindow(g)
+		sp.End()
 	}
 }
 
@@ -205,6 +220,7 @@ func (e *Engine) Ingest(recs []flowlog.Record) {
 	var maxStart time.Time
 	if n == 1 {
 		maxStart = e.shards[0].add(recs)
+		e.tel.shardRecords[0].Add(int64(len(recs)))
 	} else {
 		// One byte of shard id per record instead of per-shard record
 		// copies: each shard then scans the shared batch in place.
@@ -222,6 +238,7 @@ func (e *Engine) Ingest(recs []flowlog.Record) {
 			if m := sh.addFiltered(recs, ids, uint8(i), counts[i]); m.After(maxStart) {
 				maxStart = m
 			}
+			e.tel.shardRecords[i].Add(int64(counts[i]))
 		}
 	}
 	e.advance(maxStart)
@@ -264,7 +281,9 @@ func (e *Engine) closeShards(cutoff time.Time, flush bool) {
 		sh.mu.Unlock()
 	}
 	e.mergePending(cutoff, flush)
-	e.mergeNS.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	e.mergeNS.Add(int64(elapsed))
+	e.tel.merge.Observe(elapsed.Seconds())
 }
 
 // mergePending combines per-shard partials for every window starting
@@ -284,6 +303,9 @@ func (e *Engine) mergePending(cutoff time.Time, all bool) {
 		delete(e.pending, k)
 	}
 	e.pendMu.Unlock()
+	if len(groups) > 0 {
+		e.tel.flushLag.Observe(float64(len(groups)))
+	}
 	for _, parts := range groups {
 		g := parts[0]
 		for _, p := range parts[1:] {

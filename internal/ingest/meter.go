@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/telemetry"
 )
 
 // Meter accounts the cost of goods sold for an ingest stream: record and
@@ -17,6 +18,11 @@ type Meter struct {
 	start   time.Time
 	records atomic.Int64
 	bytes   atomic.Int64
+
+	// Optional telemetry mirrors, bound once before ingest starts and
+	// read without synchronization on the hot path (nil handles no-op).
+	telRecords *telemetry.Counter
+	telBytes   *telemetry.Counter
 }
 
 // NewMeter returns a meter starting now.
@@ -24,10 +30,24 @@ func NewMeter() *Meter {
 	return &Meter{start: time.Now()}
 }
 
+// Instrument registers the shared ingest counter families in reg and
+// mirrors every Observe into them. The engine's sharded path and the
+// Pipeline both bind the same families, so whichever path ingests, the
+// wire-throughput view is one pair of counters. Call before the first
+// Observe; a nil registry leaves the meter un-mirrored.
+func (m *Meter) Instrument(reg *telemetry.Registry) {
+	m.telRecords = reg.Counter("cloudgraph_ingest_records_total",
+		"connection summaries accepted by an ingest path")
+	m.telBytes = reg.Counter("cloudgraph_ingest_bytes_total",
+		"wire bytes of accepted connection summaries")
+}
+
 // Observe credits n ingested records.
 func (m *Meter) Observe(n int) {
 	m.records.Add(int64(n))
 	m.bytes.Add(int64(n * flowlog.WireSize))
+	m.telRecords.Add(int64(n))
+	m.telBytes.Add(int64(n * flowlog.WireSize))
 }
 
 // CostReport summarizes an ingest run.

@@ -12,6 +12,7 @@ import (
 
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/graph"
+	"cloudgraph/internal/telemetry"
 )
 
 // Pipeline is a parallel group-by-aggregation execution plan: records
@@ -65,6 +66,13 @@ func NewPipeline(n int, opts graph.BuilderOptions) *Pipeline {
 		}()
 	}
 	return p
+}
+
+// Instrument mirrors the pipeline's meter into reg — the same
+// cloudgraph_ingest_* families the engine's sharded path reports. Call
+// before the first Ingest.
+func (p *Pipeline) Instrument(reg *telemetry.Registry) {
+	p.meter.Instrument(reg)
 }
 
 // shardSeed keeps sharding deterministic across runs.

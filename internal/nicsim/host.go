@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/telemetry"
 )
 
 // Collector receives batches of connection summaries forwarded by host
@@ -32,6 +33,10 @@ type Host struct {
 	vnics map[netip.Addr]*VNIC
 
 	idleTimeout time.Duration
+
+	// Fabric-wide counters, bound by Fabric.Instrument (nil when off).
+	telDrained *telemetry.Counter
+	telAged    *telemetry.Counter
 }
 
 // NewHost returns an empty host whose VNICs use the given idle timeout.
@@ -48,6 +53,7 @@ func (h *Host) PlaceVM(addr netip.Addr) *VNIC {
 		return v
 	}
 	v := NewVNIC(addr, h.idleTimeout)
+	v.telAged = h.telAged
 	h.vnics[addr] = v
 	return v
 }
@@ -77,6 +83,7 @@ func (h *Host) VMs() []netip.Addr {
 // It returns the number of records forwarded.
 func (h *Host) Pull(intervalStart time.Time, c Collector) (int, error) {
 	h.mu.Lock()
+	drained := h.telDrained
 	vnics := make([]*VNIC, 0, len(h.vnics))
 	for _, v := range h.vnics {
 		vnics = append(vnics, v)
@@ -94,6 +101,7 @@ func (h *Host) Pull(intervalStart time.Time, c Collector) (int, error) {
 	if err := c.Collect(batch); err != nil {
 		return 0, err
 	}
+	drained.Add(int64(len(batch)))
 	return len(batch), nil
 }
 
@@ -118,6 +126,10 @@ type Fabric struct {
 	hosts  []*Host
 	perVM  int
 	idleTO time.Duration
+
+	// Fleet counters registered by Instrument; new hosts inherit them.
+	telDrained *telemetry.Counter
+	telAged    *telemetry.Counter
 }
 
 // NewFabric returns a fabric that packs vmsPerHost VMs onto each host.
@@ -140,6 +152,7 @@ func (f *Fabric) AddVM(addr netip.Addr) {
 		h = f.hosts[n-1]
 	} else {
 		h = NewHost(f.idleTO)
+		h.bind(f.telDrained, f.telAged)
 		f.hosts = append(f.hosts, h)
 	}
 	f.byVM[addr] = h.PlaceVM(addr)

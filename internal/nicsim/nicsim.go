@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/telemetry"
 )
 
 // flowKey identifies one direction-normalized flow on a VNIC: the local
@@ -55,6 +56,10 @@ type VNIC struct {
 	idleTimeout time.Duration
 
 	peakFlows int
+
+	// telAged counts idle evictions; bound by the owning host (nil when
+	// telemetry is off).
+	telAged *telemetry.Counter
 }
 
 // NewVNIC returns a VNIC for the VM with address local. idleTimeout governs
@@ -117,6 +122,7 @@ func (v *VNIC) Drain(intervalStart time.Time) []flowlog.Record {
 		}
 		if v.idleTimeout > 0 && intervalStart.Sub(st.lastSeen) >= v.idleTimeout {
 			delete(v.flows, k)
+			v.telAged.Add(1)
 			continue
 		}
 		*st = flowState{lastSeen: st.lastSeen}

@@ -1,0 +1,68 @@
+package nicsim
+
+import "cloudgraph/internal/telemetry"
+
+// Instrument registers the collection-path metric families in reg and binds
+// every current and future host to them: records drained by host agents,
+// flows evicted by the idle timeout, and gauges for live flow-table
+// occupancy and its modelled NIC memory. Handles are bound once here and on
+// placement, so Observe/Drain stay free of registry lookups; a nil registry
+// leaves the fabric un-instrumented.
+func (f *Fabric) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	f.mu.Lock()
+	f.telDrained = reg.Counter("cloudgraph_nicsim_records_drained_total",
+		"connection summaries pulled from VNIC flow tables by host agents")
+	f.telAged = reg.Counter("cloudgraph_nicsim_aged_out_flows_total",
+		"flows evicted from VNIC flow tables by the idle timeout")
+	for _, h := range f.hosts {
+		h.bind(f.telDrained, f.telAged)
+	}
+	f.mu.Unlock()
+	reg.GaugeFunc("cloudgraph_nicsim_active_flows",
+		"flows currently resident in VNIC flow tables, fleet-wide",
+		func() float64 {
+			total := 0
+			for _, h := range f.Hosts() {
+				total += h.ActiveFlows()
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("cloudgraph_nicsim_flow_table_bytes",
+		"modelled NIC memory holding telemetry flow state, fleet-wide",
+		func() float64 {
+			total := 0
+			for _, h := range f.Hosts() {
+				total += h.MemoryFootprint()
+			}
+			return float64(total)
+		})
+}
+
+// bind points the host and its existing VNICs at the fabric's counters.
+// Caller holds f.mu; h.mu is ordered after it (AddVM takes them the same
+// way).
+func (h *Host) bind(drained, aged *telemetry.Counter) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.telDrained = drained
+	h.telAged = aged
+	for _, v := range h.vnics {
+		v.mu.Lock()
+		v.telAged = aged
+		v.mu.Unlock()
+	}
+}
+
+// ActiveFlows returns the number of flows resident across the host's VNICs.
+func (h *Host) ActiveFlows() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for _, v := range h.vnics {
+		total += v.ActiveFlows()
+	}
+	return total
+}

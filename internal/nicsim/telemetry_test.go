@@ -1,0 +1,67 @@
+package nicsim
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/telemetry"
+)
+
+func TestFabricTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := NewFabric(2, time.Minute)
+	f.Instrument(reg)
+
+	t0 := time.Unix(1700000000, 0).UTC()
+	vms := []netip.Addr{
+		netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"),
+		netip.MustParseAddr("10.0.0.3"), // second host: created after Instrument
+	}
+	for _, a := range vms {
+		f.AddVM(a)
+	}
+	f.ObserveFlow(netip.AddrPortFrom(vms[0], 40000), netip.AddrPortFrom(vms[1], 443),
+		3, 2, 300, 200, t0)
+	f.ObserveFlow(netip.AddrPortFrom(vms[2], 40001), netip.AddrPortFrom(vms[0], 443),
+		1, 1, 100, 100, t0)
+
+	var collected int
+	sink := CollectorFunc(func(recs []flowlog.Record) error {
+		collected += len(recs)
+		return nil
+	})
+	if _, err := f.PullAll(t0.Add(time.Second), sink); err != nil {
+		t.Fatal(err)
+	}
+	drained := reg.Counter("cloudgraph_nicsim_records_drained_total",
+		"connection summaries pulled from VNIC flow tables by host agents")
+	if got := drained.Value(); got != int64(collected) || got == 0 {
+		t.Errorf("drained counter = %d, want %d (collected)", got, collected)
+	}
+
+	// Second pull well past the idle timeout evicts every flow.
+	if _, err := f.PullAll(t0.Add(5*time.Minute), sink); err != nil {
+		t.Fatal(err)
+	}
+	aged := reg.Counter("cloudgraph_nicsim_aged_out_flows_total",
+		"flows evicted from VNIC flow tables by the idle timeout")
+	if got := aged.Value(); got != 4 {
+		t.Errorf("aged counter = %d, want 4 (both sides of both flows)", got)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "cloudgraph_nicsim_active_flows 0") {
+		t.Errorf("active-flows gauge should read 0 after eviction:\n%s", out)
+	}
+	if !strings.Contains(out, "cloudgraph_nicsim_flow_table_bytes 0") {
+		t.Errorf("flow-table-bytes gauge should read 0 after eviction:\n%s", out)
+	}
+}

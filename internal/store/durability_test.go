@@ -1,0 +1,73 @@
+package store
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"cloudgraph/internal/telemetry"
+)
+
+func TestSyncMakesWindowsDurable(t *testing.T) {
+	// After Sync, every appended window must be readable by a concurrent
+	// Open — no Close required. This is the crash-durability contract the
+	// daemon's OnWindow hook relies on.
+	path := filepath.Join(t.TempDir(), "sync.cg")
+	reg := telemetry.NewRegistry()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Instrument(reg)
+
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, t0)
+	if err := w.Append(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("windows visible after Sync = %d, want 1", len(got))
+	}
+	sameGraph(t, g, got[0])
+
+	if v := w.telWindows.Value(); v != 1 {
+		t.Errorf("windows counter = %d, want 1", v)
+	}
+	if v := w.telBytes.Value(); v <= 4 {
+		t.Errorf("bytes counter = %d, want > 4", v)
+	}
+	if c := w.telFsync.Count(); c != 1 {
+		t.Errorf("fsync histogram count = %d, want 1", c)
+	}
+}
+
+func TestCloseReportsFlushError(t *testing.T) {
+	// Regression guard for the satellite fix: a window still sitting in
+	// the bufio buffer that cannot reach the disk must surface from Close
+	// as an error — the old path could mask it behind the file close.
+	path := filepath.Join(t.TempDir(), "lost.cg")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	if err := w.Append(randomGraph(rng, t0)); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the descriptor out from under the buffered writer: the
+	// window is buffered but can never be written.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close returned nil although the buffered window was lost")
+	}
+}

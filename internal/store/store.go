@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"cloudgraph/internal/graph"
+	"cloudgraph/internal/telemetry"
 )
 
 var magic = [8]byte{'c', 'g', 'r', 'a', 'p', 'h', '0', '1'}
@@ -35,6 +36,23 @@ type Writer struct {
 	f *os.File
 	w *bufio.Writer
 	n int
+
+	// Telemetry handles, bound by Instrument (nil when off).
+	telWindows *telemetry.Counter
+	telBytes   *telemetry.Counter
+	telFsync   *telemetry.Histogram
+}
+
+// Instrument registers the store's metric families in reg: windows and
+// bytes appended, and fsync latency. A nil registry is a no-op.
+func (w *Writer) Instrument(reg *telemetry.Registry) {
+	w.telWindows = reg.Counter("cloudgraph_store_windows_written_total",
+		"window graphs appended to the store file")
+	w.telBytes = reg.Counter("cloudgraph_store_bytes_written_total",
+		"serialized window bytes appended to the store file")
+	w.telFsync = reg.Histogram("cloudgraph_store_fsync_seconds",
+		"time spent in fsync making appended windows durable",
+		telemetry.DurBuckets)
 }
 
 // Create opens (or creates) a store file for appending. A new file gets the
@@ -90,20 +108,37 @@ func (w *Writer) Append(g *graph.Graph) error {
 		return err
 	}
 	w.n++
+	w.telWindows.Add(1)
+	w.telBytes.Add(int64(4 + len(body)))
 	return nil
 }
 
 // Count returns windows appended by this writer.
 func (w *Writer) Count() int { return w.n }
 
-// Close flushes and closes the file.
-func (w *Writer) Close() error {
+// Sync flushes buffered windows to the file and fsyncs it, making every
+// Append so far durable. Call it after each window (or batch) when the
+// store must survive a crash; Close syncs once more regardless.
+func (w *Writer) Sync() error {
 	if err := w.w.Flush(); err != nil {
-		//lint:allow errdrop the Flush error is what the caller must see; the close is best-effort teardown
-		w.f.Close()
 		return err
 	}
-	return w.f.Close()
+	sp := telemetry.StartSpan(w.telFsync)
+	err := w.f.Sync()
+	sp.End()
+	return err
+}
+
+// Close makes all appended windows durable and closes the file. The file
+// is closed even when the flush or fsync fails, and that earlier error —
+// the one that says data was lost — is the one returned, never masked by
+// the close's outcome.
+func (w *Writer) Close() error {
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // encodeGraph serializes a graph. Layout (little endian):

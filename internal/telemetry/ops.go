@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// OpsServer is the daemon's operational HTTP endpoint: /metrics in
+// Prometheus text format, /healthz for liveness probes, and the stdlib
+// /debug/pprof profiles. Extra views (cloudgraphd's /graphz heatmap)
+// attach via Handle.
+type OpsServer struct {
+	ln  net.Listener
+	mux *http.ServeMux
+	srv *http.Server
+}
+
+// ServeOps starts the ops endpoint on addr (e.g. "127.0.0.1:9443"). A nil
+// registry gets a fresh one so /metrics always serves. Process-level
+// gauges (uptime, goroutines, heap) are registered on reg as a side
+// effect.
+func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	registerProcessMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			return // probe went away; nothing to clean up
+		}
+	})
+	// pprof's handlers normally live on DefaultServeMux via its package
+	// init; wiring them explicitly keeps the ops mux self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &OpsServer{
+		ln:  ln,
+		mux: mux,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go o.serve()
+	return o, nil
+}
+
+func (o *OpsServer) serve() {
+	if err := o.srv.Serve(o.ln); err != nil && err != http.ErrServerClosed {
+		// The ops endpoint is best-effort: a late serve error has no
+		// caller left to return to, only the log.
+		log.Printf("telemetry: ops server: %v", err)
+	}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (o *OpsServer) Addr() string { return o.ln.Addr().String() }
+
+// Handle attaches an extra view under pattern. Safe to call while the
+// server runs; panics if pattern is already taken (http.ServeMux rules).
+func (o *OpsServer) Handle(pattern string, h http.Handler) {
+	o.mux.Handle(pattern, h)
+}
+
+// Close shuts the endpoint down immediately, dropping open scrapes.
+func (o *OpsServer) Close() error {
+	return o.srv.Close()
+}
+
+// registerProcessMetrics adds the process-level gauges every ops endpoint
+// wants; GaugeFunc keeps the first registration, so calling this for a
+// registry that already has them is a no-op.
+func registerProcessMetrics(reg *Registry) {
+	reg.GaugeFunc("cloudgraph_process_uptime_seconds",
+		"seconds since the telemetry registry was created",
+		func() float64 { return time.Since(reg.start).Seconds() })
+	reg.GaugeFunc("cloudgraph_process_goroutines",
+		"live goroutines in the process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("cloudgraph_process_heap_alloc_bytes",
+		"heap bytes currently allocated",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}

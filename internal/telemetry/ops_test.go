@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestOpsServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_test_total", "a counter").Add(42)
+	o, err := ServeOps("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	base := "http://" + o.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"ops_test_total 42",
+		"cloudgraph_process_uptime_seconds",
+		"cloudgraph_process_goroutines",
+		"cloudgraph_process_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (goroutine profile missing)", code)
+	}
+
+	// Extra views attach while the server runs.
+	o.Handle("/extra", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if _, err := io.WriteString(w, "extra-view"); err != nil {
+			return
+		}
+	}))
+	code, body = get(t, base+"/extra")
+	if code != 200 || body != "extra-view" {
+		t.Errorf("/extra = %d %q", code, body)
+	}
+}
+
+func TestOpsServerClose(t *testing.T) {
+	o, err := ServeOps("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := o.Addr()
+	if err := o.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	client := http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("closed ops server still answering")
+	}
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import "time"
+
+// Span measures one timed section into a duration histogram:
+//
+//	sp := telemetry.StartSpan(m.merge)
+//	... hot work ...
+//	sp.End()
+//
+// Spans are plain values — no allocation, no goroutine, no context. With a
+// nil histogram StartSpan skips the clock read entirely, so a disabled
+// span costs two branches.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing into h. A nil h yields an inert span.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time. End on an inert span is a no-op; a Span
+// must not be ended twice (each End records a fresh sample).
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.ObserveDuration(time.Since(s.start))
+}

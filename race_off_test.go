@@ -1,0 +1,5 @@
+//go:build !race
+
+package cloudgraph
+
+const raceEnabled = false

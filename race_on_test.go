@@ -1,0 +1,7 @@
+//go:build race
+
+package cloudgraph
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip under it because instrumentation skews ratios unpredictably.
+const raceEnabled = true
