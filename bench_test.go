@@ -24,6 +24,7 @@ import (
 	"cloudgraph/internal/segment"
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
 	"net/netip"
 )
 
@@ -325,6 +326,54 @@ func BenchmarkEngineIngestTelemetry(b *testing.B) {
 	}
 	b.Run("telemetry=off", func(b *testing.B) { run(b, nil) })
 	b.Run("telemetry=on", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
+}
+
+// BenchmarkEngineIngestTracing measures the tracing tax on the engine's
+// ingest hot path at the three operating points: no tracer at all, a
+// tracer attached with sampling off (the production default — the cost is
+// the nil-safe branches plus one len check per batch), and 1-in-1024
+// sampling (the recommended live rate; sampled records pay for span
+// recording, the rest pay one compare). Contexts arrive precomputed and
+// parallel to the batch, matching how the analytics server hands them to
+// IngestTraced off the wire.
+func BenchmarkEngineIngestTracing(b *testing.B) {
+	loadFixtures(b)
+	recs := fixK8s.records
+	const batch = 4096
+	run := func(b *testing.B, tr *trace.Tracer, tcs []trace.Context) {
+		e := core.NewEngine(core.Config{Window: time.Hour, Shards: 4, Trace: tr})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := i * batch % len(recs)
+			end := off + batch
+			if end > len(recs) {
+				end = len(recs)
+			}
+			if tcs == nil {
+				e.IngestTraced(recs[off:end], nil)
+			} else {
+				e.IngestTraced(recs[off:end], tcs[off:end])
+			}
+		}
+		b.StopTimer()
+		if len(e.Flush()) == 0 {
+			b.Fatal("no windows completed")
+		}
+		b.ReportMetric(float64(int64(batch)*int64(b.N))/b.Elapsed().Seconds(), "records/s")
+	}
+	b.Run("tracing=off", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("sample=0", func(b *testing.B) {
+		run(b, trace.New(trace.Options{}), nil)
+	})
+	b.Run("sample=1in1024", func(b *testing.B) {
+		s := trace.NewSampler(1024, 1)
+		tcs := make([]trace.Context, len(recs))
+		for i := range tcs {
+			tcs[i] = s.Next()
+		}
+		run(b, trace.New(trace.Options{SampleEvery: 1024, Seed: 1}), tcs)
+	})
 }
 
 // --- §2.1 rules: policy compilation -------------------------------------------

@@ -13,13 +13,16 @@
 //
 // A second HTTP listener (-ops, default 127.0.0.1:9443) serves operational
 // views of the running daemon: Prometheus metrics on /metrics, liveness on
-// /healthz, profiling on /debug/pprof/ and the latest window's adjacency
-// heatmap on /graphz.
+// /healthz, profiling on /debug/pprof/, the latest window's adjacency
+// heatmap on /graphz, sampled record traces on /tracez and the flight
+// recorder on /flightz. SIGQUIT dumps the flight ring to stderr without
+// stopping the daemon.
 package main
 
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -31,25 +34,58 @@ import (
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/store"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
 )
+
+// parseLogLevel maps the -log-level flag onto slog levels.
+func parseLogLevel(s string) (slog.Level, bool) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cloudgraphd: ")
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7443", "listen address")
-		window   = flag.Duration("window", time.Hour, "graph window size")
-		collapse = flag.Float64("collapse", 0, "heavy-hitter collapse threshold (0 disables; paper uses 0.001)")
-		facet    = flag.String("facet", "ip", "graph facet: ip or ip-port")
-		maxWin   = flag.Int("max-windows", 48, "retained window history (0 = unlimited)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "ingest shards: concurrent connections fold records in parallel, one flow-key shard per worker")
-		storeTo  = flag.String("store", "", "append completed windows to this store file (graphctl history reads it)")
-		opsAddr  = flag.String("ops", "127.0.0.1:9443", "ops HTTP address serving /metrics, /healthz, /debug/pprof/ and /graphz (empty disables)")
+		addr        = flag.String("addr", "127.0.0.1:7443", "listen address")
+		window      = flag.Duration("window", time.Hour, "graph window size")
+		collapse    = flag.Float64("collapse", 0, "heavy-hitter collapse threshold (0 disables; paper uses 0.001)")
+		facet       = flag.String("facet", "ip", "graph facet: ip or ip-port")
+		maxWin      = flag.Int("max-windows", 48, "retained window history (0 = unlimited)")
+		workers     = flag.Int("workers", runtime.NumCPU(), "ingest shards: concurrent connections fold records in parallel, one flow-key shard per worker")
+		storeTo     = flag.String("store", "", "append completed windows to this store file (graphctl history reads it)")
+		opsAddr     = flag.String("ops", "127.0.0.1:9443", "ops HTTP address serving /metrics, /healthz, /debug/pprof/, /graphz, /tracez and /flightz (empty disables)")
+		traceSample = flag.Int("trace-sample", 0, "trace one in N ingested records end to end (0 disables span sampling)")
+		flightN     = flag.Int("flight-events", trace.DefaultFlightEvents, "flight recorder ring capacity (events and spans retained for /flightz and crash dumps)")
+		logLevel    = flag.String("log-level", "info", "structured event log level: debug, info, warn or error")
 	)
 	flag.Parse()
 
+	level, ok := parseLogLevel(*logLevel)
+	if !ok {
+		log.Fatalf("unknown log level %q (want debug, info, warn or error)", *logLevel)
+	}
+
+	// The tracer always exists: the event log and flight recorder are
+	// cheap and on even when span sampling (-trace-sample) is off.
+	tr := trace.New(trace.Options{
+		SampleEvery:  *traceSample,
+		FlightEvents: *flightN,
+		LogOutput:    os.Stderr,
+		LogLevel:     level,
+	})
+
 	reg := telemetry.NewRegistry()
-	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers, Telemetry: reg}
+	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers, Telemetry: reg, Trace: tr}
 	switch *facet {
 	case "ip":
 		cfg.Facet = graph.FacetIP
@@ -68,6 +104,7 @@ func main() {
 		}
 		defer w.Close()
 		w.Instrument(reg)
+		w.Trace(tr)
 		cfg.OnWindow = func(g *graph.Graph) {
 			if err := w.Append(g); err != nil {
 				log.Printf("store append: %v", err)
@@ -84,7 +121,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (window=%v facet=%s collapse=%g workers=%d)", srv.Addr(), *window, *facet, *collapse, *workers)
+	log.Printf("listening on %s (window=%v facet=%s collapse=%g workers=%d trace-sample=%d)",
+		srv.Addr(), *window, *facet, *collapse, *workers, *traceSample)
 
 	if *opsAddr != "" {
 		ops, err := telemetry.ServeOps(*opsAddr, reg)
@@ -93,8 +131,23 @@ func main() {
 		}
 		defer ops.Close()
 		ops.Handle("/graphz", analytics.GraphzHandler(srv.Engine()))
-		log.Printf("ops endpoint on http://%s (/metrics /healthz /debug/pprof/ /graphz)", ops.Addr())
+		ops.Handle("/tracez", trace.TracezHandler(tr.Recorder()))
+		ops.Handle("/flightz", trace.FlightzHandler(tr.Flight()))
+		log.Printf("ops endpoint on http://%s (/metrics /healthz /debug/pprof/ /graphz /tracez /flightz)", ops.Addr())
 	}
+
+	// SIGQUIT dumps the flight recorder — the last N events and spans
+	// leading up to now — without stopping the daemon.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			log.Printf("SIGQUIT: dumping flight recorder")
+			if err := tr.DumpFlight(os.Stderr); err != nil {
+				log.Printf("flight dump: %v", err)
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -96,6 +96,7 @@ func TestDetclockGolden(t *testing.T)   { runGolden(t, "detclock", Detclock()) }
 func TestWirestructGolden(t *testing.T) { runGolden(t, "wirestruct", Wirestruct()) }
 func TestErrdropGolden(t *testing.T)    { runGolden(t, "errdrop", Errdrop()) }
 func TestFloatcmpGolden(t *testing.T)   { runGolden(t, "floatcmp", Floatcmp()) }
+func TestTracectxGolden(t *testing.T)   { runGolden(t, "tracectx", Tracectx()) }
 
 // TestModuleClean runs the full suite over the real module, pinning the
 // tree to zero findings — the same gate CI applies via cmd/cloudgraph-vet.

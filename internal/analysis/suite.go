@@ -13,6 +13,7 @@ func Suite() []*Analyzer {
 		),
 		Wirestruct(), // marker-driven, module wide
 		Errdrop("cloudgraph/internal"),
+		Tracectx(), // module wide: trace contexts copy, Handle errors surface
 		Floatcmp(
 			"cloudgraph/internal/matrix",
 			"cloudgraph/internal/summarize",

@@ -1,0 +1,60 @@
+// Package trace is the tracectx golden testdata. It declares its own
+// Context value type — the analyzer matches "Context in a package named
+// trace" by name, so this standalone package exercises the same rule the
+// real cloudgraph/internal/trace package is held to — plus a slog.Handler
+// whose call sites cover every dropped-Handle-error shape.
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Context mirrors the real trace.Context: a small copyable value.
+type Context struct{ TraceID, SpanID uint64 }
+
+func passByPointer(c *Context) { // want "parameter"
+	_ = c
+}
+
+func returnPointer() *Context { // want "result"
+	return nil
+}
+
+type spanQueue struct {
+	last *Context      // want "struct field"
+	ch   chan *Context // want "channel element"
+}
+
+// Values are the intended shape: no findings.
+func passByValue(c Context) Context { return c }
+
+type valueQueue struct {
+	last Context
+	ch   chan Context
+}
+
+type handler struct{ base slog.Handler }
+
+// Handle propagates the base handler's error — the good shape.
+func (h handler) Handle(ctx context.Context, r slog.Record) error {
+	return h.base.Handle(ctx, r)
+}
+
+// Handle with a different signature must not match.
+type mux struct{}
+
+func (mux) Handle(pattern string, h handler) {}
+
+func dropHandle(h handler, m mux, r slog.Record) {
+	h.Handle(context.Background(), r)     // want "discarded"
+	_ = h.Handle(context.Background(), r) // want "assigned to _"
+	go h.Handle(context.Background(), r)  // want "go statement"
+	m.Handle("/x", h)                     // not a slog Handle: no finding
+	//lint:allow tracectx suppression path pinned by the golden test
+	h.Handle(context.Background(), r)
+}
+
+func deferHandle(h handler, r slog.Record) {
+	defer h.Handle(context.Background(), r) // want "defer"
+}

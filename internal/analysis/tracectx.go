@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tracectx enforces the tracing layer's two usage invariants:
+//
+//   - trace.Context is a small value meant to be copied: it crosses
+//     goroutine and stage boundaries on the ingest hot path, and sharing
+//     one by pointer invites data races and aliasing bugs the value type
+//     was designed out of. Declaring *Context in a parameter, result,
+//     struct field or channel element is flagged.
+//
+//   - slog.Handler.Handle returns an error for a reason — a dead log sink
+//     would otherwise fail silently, which in an observability layer means
+//     losing the very signal that explains the next outage. Calls to a
+//     Handle method with the slog.Handler signature must not discard the
+//     error: bare statements, blank assignments, go and defer statements
+//     are flagged. (errdrop catches the bare form in cloudgraph/internal;
+//     this check also covers go/defer and applies module-wide.)
+func Tracectx() *Analyzer {
+	a := &Analyzer{
+		Name: "tracectx",
+		Doc:  "flag *trace.Context in signatures and dropped slog Handler.Handle errors",
+	}
+	a.Run = runTracectx
+	return a
+}
+
+func runTracectx(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				p.checkCtxFieldList(n.Params, "parameter")
+				p.checkCtxFieldList(n.Results, "result")
+			case *ast.StructType:
+				p.checkCtxFieldList(n.Fields, "struct field")
+			case *ast.ChanType:
+				p.checkCtxPointerExpr(n.Value, "channel element")
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && isSlogHandle(p, call) {
+					p.Reportf(call.Pos(), "error return of %s discarded; a failing log sink must be surfaced", callName(call))
+				}
+			case *ast.GoStmt:
+				if isSlogHandle(p, n.Call) {
+					p.Reportf(n.Call.Pos(), "error return of %s discarded by go statement; a failing log sink must be surfaced", callName(n.Call))
+				}
+				return false
+			case *ast.DeferStmt:
+				if isSlogHandle(p, n.Call) {
+					p.Reportf(n.Call.Pos(), "error return of %s discarded by defer; a failing log sink must be surfaced", callName(n.Call))
+				}
+				return false
+			case *ast.AssignStmt:
+				p.checkBlankHandleErr(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFieldList flags every *trace.Context-typed entry of fields.
+func (p *Pass) checkCtxFieldList(fields *ast.FieldList, where string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		p.checkCtxPointerExpr(f.Type, where)
+	}
+}
+
+// checkCtxPointerExpr flags expr when it denotes *trace.Context.
+func (p *Pass) checkCtxPointerExpr(expr ast.Expr, where string) {
+	if expr == nil {
+		return
+	}
+	t := p.Info.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok || !isTraceContext(ptr.Elem()) {
+		return
+	}
+	p.Reportf(expr.Pos(), "*trace.Context as %s: Context is a value type; copy it across goroutines, never share a pointer", where)
+}
+
+// isTraceContext reports whether t is the Context type of a package named
+// trace (name-based so the golden testdata package matches too).
+func isTraceContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "trace" && obj.Name() == "Context"
+}
+
+// isSlogHandle reports whether call invokes a method named Handle with the
+// slog.Handler signature: (context.Context, slog.Record) error.
+func isSlogHandle(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Handle" {
+		return false
+	}
+	sig := callSignature(p, call)
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isErrorType(sig.Results().At(0).Type()) {
+		return false
+	}
+	return isNamedType(sig.Params().At(0).Type(), "context", "Context") &&
+		isNamedType(sig.Params().At(1).Type(), "log/slog", "Record")
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// checkBlankHandleErr flags `_ = h.Handle(ctx, r)`.
+func (p *Pass) checkBlankHandleErr(asg *ast.AssignStmt) {
+	for i, lhs := range asg.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(asg.Rhs) {
+			continue
+		}
+		if call, ok := asg.Rhs[i].(*ast.CallExpr); ok && isSlogHandle(p, call) {
+			p.Reportf(lhs.Pos(), "error result of %s assigned to _; a failing log sink must be surfaced", callName(call))
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/trace"
 )
 
 // Client speaks the analytics protocol. It is not safe for concurrent use;
@@ -78,6 +79,41 @@ func (c *Client) Ingest(recs []flowlog.Record) error {
 			return err
 		}
 	}
+	return c.finishIngest(len(recs))
+}
+
+// IngestTraced streams a batch with its out-of-band trace contexts using
+// the flagged-frame variant of INGEST. tcs must be nil or parallel to
+// recs; with no sampled context (or nil tcs) it falls back to the legacy
+// framing, so an untraced caller never pays the flag bytes.
+func (c *Client) IngestTraced(recs []flowlog.Record, tcs []trace.Context) error {
+	sampled := false
+	if len(tcs) == len(recs) {
+		for _, tc := range tcs {
+			if tc.Sampled() {
+				sampled = true
+				break
+			}
+		}
+	}
+	if !sampled {
+		return c.Ingest(recs)
+	}
+	if _, err := fmt.Fprintf(c.w, "INGEST %d T\n", len(recs)); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 1+flowlog.WireSize+traceFieldSize)
+	for i, r := range recs {
+		buf = appendFlaggedFrame(buf[:0], r, tcs[i])
+		if _, err := c.w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return c.finishIngest(len(recs))
+}
+
+// finishIngest flushes a written batch and checks the OK response.
+func (c *Client) finishIngest(n int) error {
 	if err := c.w.Flush(); err != nil {
 		return err
 	}
@@ -85,8 +121,8 @@ func (c *Client) Ingest(recs []flowlog.Record) error {
 	if err != nil {
 		return err
 	}
-	var n int
-	if _, err := fmt.Sscanf(line, "OK %d", &n); err != nil || n != len(recs) {
+	var got int
+	if _, err := fmt.Sscanf(line, "OK %d", &got); err != nil || got != n {
 		return fmt.Errorf("analytics: unexpected ingest response %q", line)
 	}
 	return nil

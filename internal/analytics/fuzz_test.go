@@ -2,11 +2,13 @@ package analytics
 
 import (
 	"bytes"
+	"errors"
 	"net/netip"
 	"testing"
 	"time"
 
 	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/trace"
 )
 
 // FuzzDecodeFrame drives readBatch, the decoder behind INGEST, with
@@ -68,6 +70,113 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if !bytes.Equal(enc, data[:consumed]) {
 			t.Fatalf("n=%d: round-trip mismatch", n)
+		}
+	})
+}
+
+// scanFlaggedFrames is the fuzz oracle for the flagged framing: it walks
+// data the way readBatchFlagged's framing layer must, returning the byte
+// count of n whole well-flagged frames. ok is false when the data runs
+// short or hits an invalid flag before n frames — the cases where the
+// reader may not (short) or must not (bad flag) consume the whole batch.
+func scanFlaggedFrames(data []byte, n int) (size int, ok bool) {
+	pos := 0
+	for i := 0; i < n; i++ {
+		if pos >= len(data) {
+			return 0, false
+		}
+		flag := data[pos]
+		if flag != frameFlagPlain && flag != frameFlagTraced {
+			return 0, false
+		}
+		pos++
+		frame := flowlog.WireSize
+		if flag == frameFlagTraced {
+			frame += traceFieldSize
+		}
+		if pos+frame > len(data) {
+			return 0, false
+		}
+		pos += frame
+	}
+	return pos, true
+}
+
+// FuzzDecodeFlaggedFrame is FuzzDecodeFrame for the traced INGEST framing.
+// The drain invariant generalizes: whenever every declared frame carries a
+// valid flag and its full length, readBatchFlagged consumes exactly those
+// frames — decode errors included — so the command stream stays aligned.
+// Only a short stream or an unknown flag (errDesync) may stop early, and
+// both end the connection.
+func FuzzDecodeFlaggedFrame(f *testing.F) {
+	rec := flowlog.Record{
+		Time:        time.Unix(1700000000, 0).UTC(),
+		LocalIP:     netip.MustParseAddr("10.0.0.1"),
+		LocalPort:   443,
+		RemoteIP:    netip.MustParseAddr("10.0.0.2"),
+		RemotePort:  55000,
+		PacketsSent: 12,
+		PacketsRcvd: 8,
+		BytesSent:   4096,
+		BytesRcvd:   512,
+	}
+	valid := appendFlaggedFrame(nil, rec, trace.Context{TraceID: 0xabc, SpanID: 0xdef})
+	valid = appendFlaggedFrame(valid, rec.Reverse(), trace.Context{})
+	f.Add(uint8(2), valid)
+	// A zeroed traced frame: flag is valid, record fails to decode — the
+	// recoverable case that must still drain the batch.
+	corrupt := append([]byte(nil), valid...)
+	for i := 1; i < 1+flowlog.WireSize; i++ {
+		corrupt[i] = 0
+	}
+	f.Add(uint8(2), corrupt)
+	// An invalid flag mid-batch: the desync case.
+	desync := append([]byte(nil), valid...)
+	desync[0] = 0x7f
+	f.Add(uint8(2), desync)
+	f.Add(uint8(3), valid) // declared count exceeds the data: short stream
+	f.Add(uint8(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, count uint8, data []byte) {
+		n := int(count % 17)
+		r := bytes.NewReader(data)
+		batch, tcs, err := readBatchFlagged(r, n)
+		consumed := len(data) - r.Len()
+		if size, ok := scanFlaggedFrames(data, n); ok {
+			if consumed != size {
+				t.Fatalf("n=%d: consumed %d bytes, want %d whole frames = %d (err=%v)",
+					n, consumed, n, size, err)
+			}
+			if errors.Is(err, errDesync) {
+				t.Fatalf("n=%d: desync reported on well-flagged frames", n)
+			}
+		} else if err == nil {
+			t.Fatalf("n=%d: succeeded on short or mis-flagged data (%d bytes)", n, len(data))
+		}
+		if err != nil {
+			return
+		}
+		if len(batch) != n || len(tcs) != n {
+			t.Fatalf("n=%d: got %d records, %d contexts", n, len(batch), len(tcs))
+		}
+		// Successful decodes re-encode canonically: a traced flag with a
+		// zero trace ID decodes as unsampled and re-encodes plain, so
+		// compare by re-decoding the canonical bytes.
+		var enc []byte
+		for i := range batch {
+			enc = appendFlaggedFrame(enc, batch[i], tcs[i])
+		}
+		batch2, tcs2, err := readBatchFlagged(bytes.NewReader(enc), n)
+		if err != nil {
+			t.Fatalf("n=%d: canonical re-decode failed: %v", n, err)
+		}
+		for i := range batch {
+			if batch[i] != batch2[i] {
+				t.Fatalf("n=%d record %d: round-trip mismatch", n, i)
+			}
+			if tcs[i].Sampled() != tcs2[i].Sampled() || (tcs[i].Sampled() && tcs[i] != tcs2[i]) {
+				t.Fatalf("n=%d context %d: round-trip mismatch %+v vs %+v", n, i, tcs[i], tcs2[i])
+			}
 		}
 	})
 }

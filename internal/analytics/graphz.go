@@ -8,14 +8,16 @@ import (
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/heatmap"
+	"cloudgraph/internal/telemetry"
 )
 
 // GraphzHandler serves the latest completed window as an adjacency heatmap
 // — the ops-endpoint rendering of Figure 4. The default is ASCII art sized
 // by ?size= (at most size characters wide, default 64); ?format=pgm returns
-// a binary PGM image instead, one pixel per node pair.
+// a binary PGM image instead, one pixel per node pair. GET/HEAD only, like
+// every ops view.
 func GraphzHandler(e *core.Engine) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+	return telemetry.GetOnly(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		g := e.Latest()
 		if g == nil {
 			http.Error(w, "no completed window yet", http.StatusNotFound)
@@ -46,5 +48,5 @@ func GraphzHandler(e *core.Engine) http.Handler {
 		if _, err := w.Write([]byte(header + heatmap.ASCII(adj.M, adj.N, size))); err != nil {
 			return
 		}
-	})
+	}))
 }

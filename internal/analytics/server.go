@@ -7,6 +7,7 @@
 // The wire protocol is line-oriented commands with JSON responses:
 //
 //	INGEST <n>\n  followed by n binary flowlog frames  -> OK <n>
+//	INGEST <n> T\n followed by n flagged frames        -> OK <n>  (wire.go)
 //	FLUSH                                              -> OK <windows>
 //	STATS                                              -> JSON Stats
 //	WINDOWS                                            -> JSON []WindowInfo
@@ -24,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"strconv"
@@ -36,6 +38,7 @@ import (
 	"cloudgraph/internal/model"
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
 )
 
 // Options tunes the server's per-connection robustness limits.
@@ -245,6 +248,10 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if cmdErr != nil {
 			s.tel.protoErrs.Add(1)
+			if tr := s.engine.Tracer(); tr != nil {
+				tr.Eventf(trace.Context{}, "analytics", slog.LevelWarn, "protocol error: %v", cmdErr)
+				tr.Trip("analytics", "protocol error: "+cmdErr.Error())
+			}
 		}
 		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
 			return
@@ -260,6 +267,11 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if cmd == "QUIT" {
+			return
+		}
+		if errors.Is(cmdErr, errDesync) {
+			// The ERR line went out, but the byte stream can no longer
+			// be re-aligned to command boundaries; drop the connection.
 			return
 		}
 	}
@@ -278,20 +290,73 @@ func writeResponse(w *bufio.Writer, out any, cmdErr error) error {
 	return writeJSON(w, out)
 }
 
-// cmdIngest reads n binary frames and feeds them to the engine.
+// cmdIngest reads n binary frames — bare legacy frames, or flagged frames
+// when the command carries the T marker — and feeds them to the engine.
 func (s *Server) cmdIngest(fields []string, r *bufio.Reader) (any, error) {
-	if len(fields) != 2 {
-		return nil, errors.New("usage: INGEST <count>")
+	traced := false
+	switch {
+	case len(fields) == 2:
+	case len(fields) == 3 && strings.ToUpper(fields[2]) == "T":
+		traced = true
+	default:
+		return nil, errors.New("usage: INGEST <count> [T]")
 	}
 	n, err := strconv.Atoi(fields[1])
 	if err != nil || n < 0 {
 		return nil, errors.New("bad count")
 	}
-	batch, err := readBatch(r, n)
+	if !traced {
+		tr := s.engine.Tracer()
+		var start time.Time
+		if tr != nil {
+			start = time.Now()
+		}
+		batch, err := readBatch(r, n)
+		if err != nil {
+			return nil, err
+		}
+		// Legacy batches carry no upstream contexts, so the server samples
+		// here: that makes the daemon's -trace-sample useful for
+		// file-driven ingest (graphctl send), with journeys starting at
+		// the wire instead of the NIC. With sampling off, Sample is a
+		// branch per record.
+		var tcs []trace.Context
+		if tr != nil {
+			d := time.Since(start)
+			note := "frames=" + strconv.Itoa(n)
+			for i := range batch {
+				c := tr.Sample()
+				if !c.Sampled() {
+					continue
+				}
+				if tcs == nil {
+					tcs = make([]trace.Context, len(batch))
+				}
+				tcs[i] = c
+				tr.Record(c, "wire.ingest", start, d, note)
+			}
+		}
+		s.engine.IngestTraced(batch, tcs)
+		s.tel.frames.Add(int64(n))
+		return textResponse(fmt.Sprintf("OK %d", n)), nil
+	}
+	start := time.Now()
+	batch, tcs, err := readBatchFlagged(r, n)
 	if err != nil {
 		return nil, err
 	}
-	s.engine.Ingest(batch)
+	if tr := s.engine.Tracer(); tr != nil {
+		// The "wire.ingest" hop: the sampled record crossed the protocol
+		// and decoded server-side.
+		d := time.Since(start)
+		note := "frames=" + strconv.Itoa(n)
+		for _, tc := range tcs {
+			if tc.Sampled() {
+				tr.Record(tc, "wire.ingest", start, d, note)
+			}
+		}
+	}
+	s.engine.IngestTraced(batch, tcs)
 	s.tel.frames.Add(int64(n))
 	return textResponse(fmt.Sprintf("OK %d", n)), nil
 }

@@ -1,0 +1,112 @@
+package analytics
+
+// Traced INGEST framing. The legacy batch — "INGEST <n>" followed by n
+// bare 76-byte flowlog frames — stays exactly as it was, so old clients
+// and recorded streams keep working byte for byte. A client that sampled
+// records for tracing sends the flagged variant instead:
+//
+//	INGEST <n> T\n  followed by n flagged frames
+//
+// where each flagged frame is one flag byte, the 76-byte record, and —
+// only when the flag says so — a 16-byte trace field:
+//
+//	0x00  plain record:  [flag][76-byte record]
+//	0x01  traced record: [flag][76-byte record][8-byte trace ID][8-byte span ID]
+//
+// Trace IDs are little endian, matching the record encoding. Any other
+// flag value is unrecoverable: the frame length is unknowable, so the
+// reader cannot drain to the next command boundary and the connection
+// must close (errDesync). A record that fails to decode inside a
+// well-flagged frame is recoverable exactly like the legacy path — the
+// flag still gives the frame length, so the reader drains the rest of the
+// declared batch and answers ERR with the stream in sync.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/trace"
+)
+
+const (
+	// frameFlagPlain marks a flagged frame carrying only the record.
+	frameFlagPlain = 0x00
+	// frameFlagTraced marks a flagged frame with the 16-byte trace field.
+	frameFlagTraced = 0x01
+	// traceFieldSize is the trace ID + span ID appendix.
+	traceFieldSize = 16
+)
+
+// errDesync marks framing errors after which the byte stream cannot be
+// re-synchronized; the server reports ERR and closes the connection.
+var errDesync = errors.New("stream desynchronized")
+
+// appendFlaggedFrame encodes one flagged frame for rec. A zero (unsampled)
+// context emits the plain flag and no trace field.
+func appendFlaggedFrame(buf []byte, rec flowlog.Record, tc trace.Context) []byte {
+	if tc.Sampled() {
+		buf = append(buf, frameFlagTraced)
+		buf = flowlog.AppendBinary(buf, rec)
+		buf = binary.LittleEndian.AppendUint64(buf, tc.TraceID)
+		buf = binary.LittleEndian.AppendUint64(buf, tc.SpanID)
+		return buf
+	}
+	buf = append(buf, frameFlagPlain)
+	return flowlog.AppendBinary(buf, rec)
+}
+
+// readBatchFlagged reads a declared batch of n flagged frames, returning
+// the records and their parallel trace contexts (zero Context on plain
+// frames). It keeps readBatch's drain invariant for every recoverable
+// error: once a frame's flag byte fixes its length, the remaining frames
+// of the batch are consumed even when a record fails to decode, so the
+// stream stays command-aligned. Only short reads and unknown flag bytes
+// (errDesync) leave the stream mid-batch, and both end the connection.
+func readBatchFlagged(r io.Reader, n int) ([]flowlog.Record, []trace.Context, error) {
+	pre := n
+	if pre > 4096 {
+		pre = 4096 // don't let a huge declared count pre-allocate unboundedly
+	}
+	batch := make([]flowlog.Record, 0, pre)
+	tcs := make([]trace.Context, 0, pre)
+	var buf [flowlog.WireSize + traceFieldSize]byte
+	var decodeErr error
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, buf[:1]); err != nil {
+			return nil, nil, fmt.Errorf("short ingest stream at record %d", i)
+		}
+		flag := buf[0]
+		if flag != frameFlagPlain && flag != frameFlagTraced {
+			return nil, nil, fmt.Errorf("record %d: unknown frame flag 0x%02x: %w", i, flag, errDesync)
+		}
+		size := flowlog.WireSize
+		if flag == frameFlagTraced {
+			size += traceFieldSize
+		}
+		if _, err := io.ReadFull(r, buf[:size]); err != nil {
+			return nil, nil, fmt.Errorf("short ingest stream at record %d", i)
+		}
+		if decodeErr != nil {
+			continue // draining the declared batch after a bad record
+		}
+		rec, err := flowlog.DecodeBinary(buf[:flowlog.WireSize])
+		if err != nil {
+			decodeErr = fmt.Errorf("record %d: %v", i, err)
+			continue
+		}
+		var tc trace.Context
+		if flag == frameFlagTraced {
+			tc.TraceID = binary.LittleEndian.Uint64(buf[flowlog.WireSize:])
+			tc.SpanID = binary.LittleEndian.Uint64(buf[flowlog.WireSize+8:])
+		}
+		batch = append(batch, rec)
+		tcs = append(tcs, tc)
+	}
+	if decodeErr != nil {
+		return nil, nil, decodeErr
+	}
+	return batch, tcs, nil
+}

@@ -1,0 +1,183 @@
+package analytics
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/trace"
+)
+
+func wireTestRecord(i int) flowlog.Record {
+	return flowlog.Record{
+		Time:        time.Unix(1700000000+int64(i), 0).UTC(),
+		LocalIP:     netip.MustParseAddr("10.0.0.1"),
+		LocalPort:   443,
+		RemoteIP:    netip.MustParseAddr("10.0.0.2"),
+		RemotePort:  uint16(50000 + i),
+		PacketsSent: 12,
+		PacketsRcvd: 8,
+		BytesSent:   4096,
+		BytesRcvd:   512,
+	}
+}
+
+// TestFlaggedRoundTrip encodes a mixed batch — plain and traced frames —
+// and decodes it back, asserting records and contexts survive unchanged.
+func TestFlaggedRoundTrip(t *testing.T) {
+	recs := []flowlog.Record{wireTestRecord(0), wireTestRecord(1), wireTestRecord(2)}
+	tcs := []trace.Context{
+		{},
+		{TraceID: 0xdeadbeefcafe, SpanID: 0x1234},
+		{},
+	}
+	var buf []byte
+	for i := range recs {
+		buf = appendFlaggedFrame(buf, recs[i], tcs[i])
+	}
+	wantLen := 3*(1+flowlog.WireSize) + traceFieldSize
+	if len(buf) != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), wantLen)
+	}
+	r := bytes.NewReader(buf)
+	gotRecs, gotTcs, err := readBatchFlagged(r, 3)
+	if err != nil {
+		t.Fatalf("readBatchFlagged: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("left %d bytes unread", r.Len())
+	}
+	if len(gotRecs) != 3 || len(gotTcs) != 3 {
+		t.Fatalf("got %d records, %d contexts", len(gotRecs), len(gotTcs))
+	}
+	for i := range recs {
+		if gotRecs[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, gotRecs[i], recs[i])
+		}
+		if gotTcs[i] != tcs[i] {
+			t.Errorf("context %d: got %+v want %+v", i, gotTcs[i], tcs[i])
+		}
+	}
+}
+
+// TestFlaggedDecodeErrorDrains pins the drain invariant on the flagged
+// path: a record that fails to decode inside a well-flagged frame must not
+// leave the rest of the declared batch in the stream, or the bytes after
+// the batch — the next command — would be parsed as garbage.
+func TestFlaggedDecodeErrorDrains(t *testing.T) {
+	good := wireTestRecord(0)
+	var buf []byte
+	buf = appendFlaggedFrame(buf, good, trace.Context{TraceID: 7, SpanID: 8})
+	// A zeroed record fails to decode (unspecified address) but the frame
+	// length is still known from the flag.
+	buf = append(buf, frameFlagTraced)
+	buf = append(buf, make([]byte, flowlog.WireSize+traceFieldSize)...)
+	buf = appendFlaggedFrame(buf, wireTestRecord(2), trace.Context{})
+	const next = "STATS\n"
+	buf = append(buf, next...)
+
+	r := bytes.NewReader(buf)
+	_, _, err := readBatchFlagged(r, 3)
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+	if errors.Is(err, errDesync) {
+		t.Fatalf("decode error must be recoverable, got desync: %v", err)
+	}
+	rest := make([]byte, r.Len())
+	if _, rerr := r.Read(rest); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(rest) != next {
+		t.Fatalf("stream desynced: %d bytes left, want the %q command", len(rest), next)
+	}
+}
+
+// TestFlaggedBadFlagIsDesync: an unknown flag byte makes the frame length
+// unknowable, so the reader must give up with errDesync instead of
+// guessing its way further into the stream.
+func TestFlaggedBadFlagIsDesync(t *testing.T) {
+	buf := appendFlaggedFrame(nil, wireTestRecord(0), trace.Context{})
+	buf = append(buf, 0x7f) // second frame: invalid flag
+	buf = append(buf, make([]byte, flowlog.WireSize)...)
+	_, _, err := readBatchFlagged(bytes.NewReader(buf), 2)
+	if !errors.Is(err, errDesync) {
+		t.Fatalf("want errDesync, got %v", err)
+	}
+}
+
+// TestOldFormatHasNoTraceField pins backward compatibility at the frame
+// level: legacy bare frames decode through readBatch exactly as before
+// (they carry no flag byte and no trace field), and a legacy batch's bytes
+// decode to the same records the flagged encoding of the same batch does
+// — the trace field is purely additive.
+func TestOldFormatHasNoTraceField(t *testing.T) {
+	recs := []flowlog.Record{wireTestRecord(0), wireTestRecord(1)}
+	var legacy []byte
+	for _, r := range recs {
+		legacy = flowlog.AppendBinary(legacy, r)
+	}
+	gotOld, err := readBatch(bytes.NewReader(legacy), 2)
+	if err != nil {
+		t.Fatalf("readBatch: %v", err)
+	}
+	var flagged []byte
+	for _, r := range recs {
+		flagged = appendFlaggedFrame(flagged, r, trace.Context{})
+	}
+	gotNew, tcs, err := readBatchFlagged(bytes.NewReader(flagged), 2)
+	if err != nil {
+		t.Fatalf("readBatchFlagged: %v", err)
+	}
+	for i := range recs {
+		if gotOld[i] != gotNew[i] {
+			t.Errorf("record %d: legacy %+v != flagged %+v", i, gotOld[i], gotNew[i])
+		}
+		if tcs[i].Sampled() {
+			t.Errorf("record %d: plain frame produced a sampled context %+v", i, tcs[i])
+		}
+	}
+}
+
+// TestServerClosesOnDesync drives the server over a real connection: a bad
+// flag byte inside INGEST ... T gets one ERR response and then the
+// connection closes, because the byte stream cannot be re-aligned.
+func TestServerClosesOnDesync(t *testing.T) {
+	s := testServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var buf []byte
+	buf = append(buf, []byte("INGEST 1 T\n")...)
+	buf = append(buf, 0x7f)
+	buf = append(buf, make([]byte, flowlog.WireSize)...)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(conn) // server replies, then must close: read to EOF
+	if err != nil {
+		t.Fatalf("read to EOF: %v", err)
+	}
+	resp := string(data)
+	if !strings.HasPrefix(resp, "ERR ") {
+		t.Fatalf("want ERR response, got %q", resp)
+	}
+	if !strings.Contains(resp, "flag") {
+		t.Fatalf("ERR should name the bad flag, got %q", resp)
+	}
+	if strings.Count(resp, "\n") != 1 {
+		t.Fatalf("connection should close after the ERR line, got %q", resp)
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"log/slog"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"cloudgraph/internal/segment"
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
 )
 
 // Config parameterizes an Engine.
@@ -54,6 +57,12 @@ type Config struct {
 	// Handles are preallocated at construction and lock-free on the hot
 	// path; nil disables instrumentation for the cost of a branch.
 	Telemetry *telemetry.Registry
+	// Trace, when set, records "core.shard" and "core.merge" spans for
+	// sampled records handed to IngestTraced, attaches their contexts to
+	// completed windows (graph.Graph.Traces), and trips the flight
+	// recorder when a merge pass runs badly in arrears. Nil disables
+	// tracing for the cost of a branch, like Telemetry.
+	Trace *trace.Tracer
 }
 
 func (c *Config) defaults() {
@@ -95,6 +104,13 @@ type Engine struct {
 	// windowers, keyed by window start, awaiting the cross-shard merge.
 	pendMu  sync.Mutex
 	pending map[int64][]*graph.Graph
+
+	// traceMu guards winTraces: sampled-record contexts queued per window
+	// start, popped by the cross-shard merge and attached to the completed
+	// window. A leaf lock like pendMu — nothing is called while held.
+	traceMu   sync.Mutex
+	winTraces map[int64][]trace.Context
+	tracer    *trace.Tracer
 
 	// tel holds the preallocated metric handles (all nil when
 	// Config.Telemetry is unset).
@@ -157,9 +173,11 @@ func (sh *engineShard) addFiltered(recs []flowlog.Record, ids []uint8, s uint8, 
 func NewEngine(cfg Config) *Engine {
 	cfg.defaults()
 	e := &Engine{
-		cfg:     cfg,
-		meter:   ingest.NewMeter(),
-		pending: make(map[int64][]*graph.Graph),
+		cfg:       cfg,
+		meter:     ingest.NewMeter(),
+		pending:   make(map[int64][]*graph.Graph),
+		winTraces: make(map[int64][]trace.Context),
+		tracer:    cfg.Trace,
 	}
 	e.maxStartNS.Store(math.MinInt64)
 	opts := graph.BuilderOptions{
@@ -189,11 +207,14 @@ func (e *Engine) addPartial(g *graph.Graph) {
 // hands it to the OnWindow hook. The hook runs after e.mu is released so a
 // hook may call the engine's read APIs (Windows, Latest, Monitor) without
 // deadlocking on the non-reentrant mutex; window order is still serial
-// because every caller holds e.closeMu.
-func (e *Engine) onWindow(g *graph.Graph) {
+// because every caller holds e.closeMu. traces carries the sampled-record
+// contexts that folded into the window; it is attached after the collapse
+// so downstream consumers see it on the graph they actually receive.
+func (e *Engine) onWindow(g *graph.Graph, traces []trace.Context) {
 	if e.cfg.Collapse.Threshold > 0 || e.cfg.Collapse.Keep != nil {
 		g = g.Collapse(e.cfg.Collapse)
 	}
+	g.Traces = traces
 	e.mu.Lock()
 	e.windows = append(e.windows, g)
 	if e.cfg.MaxWindows > 0 && len(e.windows) > e.cfg.MaxWindows {
@@ -201,6 +222,9 @@ func (e *Engine) onWindow(g *graph.Graph) {
 	}
 	e.mu.Unlock()
 	e.tel.windows.Add(1)
+	e.tracer.Eventf(trace.Context{}, "core", slog.LevelDebug,
+		"window %s completed: %d nodes, %d edges, %d sampled traces",
+		g.Start.UTC().Format(time.RFC3339), g.NumNodes(), g.NumEdges(), len(traces))
 	if e.cfg.OnWindow != nil {
 		sp := telemetry.StartSpan(e.tel.hook)
 		e.cfg.OnWindow(g)
@@ -211,9 +235,24 @@ func (e *Engine) onWindow(g *graph.Graph) {
 // Ingest adds a batch of records. Records are routed to shards by flow
 // key (the ingest.ShardOf scheme), so both reports of an
 // intra-subscription flow deduplicate in the same shard.
-func (e *Engine) Ingest(recs []flowlog.Record) {
+func (e *Engine) Ingest(recs []flowlog.Record) { e.IngestTraced(recs, nil) }
+
+// IngestTraced is Ingest with out-of-band trace contexts: tcs is nil or
+// parallel to recs, with the zero Context on unsampled records. Each
+// sampled record gets a "core.shard" span covering the shard fold, and its
+// context is queued against the record's window so the merge pass can
+// continue the trace. Aggregation output is identical to Ingest — contexts
+// never enter the records or the graphs' counters.
+func (e *Engine) IngestTraced(recs []flowlog.Record, tcs []trace.Context) {
 	if len(recs) == 0 {
 		return
+	}
+	if e.tracer == nil || len(tcs) != len(recs) {
+		tcs = nil
+	}
+	var traceStart time.Time
+	if tcs != nil {
+		traceStart = time.Now()
 	}
 	e.meter.Observe(len(recs))
 	n := len(e.shards)
@@ -221,6 +260,7 @@ func (e *Engine) Ingest(recs []flowlog.Record) {
 	if n == 1 {
 		maxStart = e.shards[0].add(recs)
 		e.tel.shardRecords[0].Add(int64(len(recs)))
+		e.recordShardSpans(recs, tcs, nil, traceStart)
 	} else {
 		// One byte of shard id per record instead of per-shard record
 		// copies: each shard then scans the shared batch in place.
@@ -240,8 +280,39 @@ func (e *Engine) Ingest(recs []flowlog.Record) {
 			}
 			e.tel.shardRecords[i].Add(int64(counts[i]))
 		}
+		e.recordShardSpans(recs, tcs, ids, traceStart)
 	}
 	e.advance(maxStart)
+}
+
+// recordShardSpans emits a "core.shard" span per sampled record of the
+// batch and queues the contexts against their windows for the merge pass.
+// Runs after the shard folds with no engine lock held; a nil tcs is the
+// single-branch no-op of the untraced path.
+func (e *Engine) recordShardSpans(recs []flowlog.Record, tcs []trace.Context, ids []uint8, start time.Time) {
+	if tcs == nil {
+		return
+	}
+	d := time.Since(start)
+	for i, tc := range tcs {
+		if !tc.Sampled() {
+			continue
+		}
+		shard := 0
+		if ids != nil {
+			shard = int(ids[i])
+		}
+		e.tracer.Record(tc, "core.shard", start, d, "shard="+strconv.Itoa(shard))
+		if !recs[i].Valid() {
+			// The windower drops invalid records, so no window will ever
+			// pick this context up; the shard span is the trace's end.
+			continue
+		}
+		k := recs[i].Time.Truncate(e.cfg.Window).UnixNano()
+		e.traceMu.Lock()
+		e.winTraces[k] = append(e.winTraces[k], tc)
+		e.traceMu.Unlock()
+	}
 }
 
 // advance closes windows across all shards once the stream has moved past
@@ -280,15 +351,23 @@ func (e *Engine) closeShards(cutoff time.Time, flush bool) {
 		}
 		sh.mu.Unlock()
 	}
-	e.mergePending(cutoff, flush)
+	exemplar := e.mergePending(cutoff, flush)
 	elapsed := time.Since(start)
 	e.mergeNS.Add(int64(elapsed))
-	e.tel.merge.Observe(elapsed.Seconds())
+	e.tel.merge.ObserveEx(elapsed.Seconds(), exemplar)
 }
+
+// flushLagTripWindows is the arrears threshold that trips the flight
+// recorder: a merge pass emitting this many whole windows at once means
+// the stream ran far ahead of window closes (stalled ingest, clock jumps,
+// or replay bursts) and the pre-fault event window is worth keeping.
+const flushLagTripWindows = 8
 
 // mergePending combines per-shard partials for every window starting
 // before cutoff (or all of them) and emits the merged windows in order.
-func (e *Engine) mergePending(cutoff time.Time, all bool) {
+// It returns the trace ID of the last sampled context that rode one of the
+// merged windows (0 when none) — the exemplar the merge histogram links to.
+func (e *Engine) mergePending(cutoff time.Time, all bool) uint64 {
 	e.pendMu.Lock()
 	var keys []int64
 	for k := range e.pending {
@@ -305,14 +384,57 @@ func (e *Engine) mergePending(cutoff time.Time, all bool) {
 	e.pendMu.Unlock()
 	if len(groups) > 0 {
 		e.tel.flushLag.Observe(float64(len(groups)))
+		if len(groups) >= flushLagTripWindows && e.tracer != nil {
+			e.tracer.Eventf(trace.Context{}, "core", slog.LevelWarn,
+				"merge pass emitted %d windows in arrears", len(groups))
+			e.tracer.Trip("core", "window flush lag: "+strconv.Itoa(len(groups))+" windows in one merge pass")
+		}
 	}
-	for _, parts := range groups {
+
+	// Pop the queued sampled-record contexts for the same key range. The
+	// condition matches on key value, not membership in pending, so
+	// contexts queued late for an already-merged window (a benign race
+	// with concurrent ingest) are swept out on the next pass instead of
+	// accumulating.
+	var traces map[int64][]trace.Context
+	if e.tracer != nil {
+		e.traceMu.Lock()
+		for k := range e.winTraces {
+			if all || k < cutoff.UnixNano() {
+				if e.winTraces[k] != nil {
+					if traces == nil {
+						traces = make(map[int64][]trace.Context)
+					}
+					traces[k] = e.winTraces[k]
+				}
+				delete(e.winTraces, k)
+			}
+		}
+		e.traceMu.Unlock()
+	}
+
+	var exemplar uint64
+	for i, parts := range groups {
+		mergeStart := time.Now()
 		g := parts[0]
 		for _, p := range parts[1:] {
 			g.Merge(p)
 		}
-		e.onWindow(g)
+		var wtcs []trace.Context
+		if traces != nil {
+			wtcs = traces[keys[i]]
+		}
+		if len(wtcs) > 0 {
+			d := time.Since(mergeStart)
+			note := "window=" + g.Start.UTC().Format(time.RFC3339) + " parts=" + strconv.Itoa(len(parts))
+			for _, tc := range wtcs {
+				e.tracer.Record(tc, "core.merge", mergeStart, d, note)
+			}
+			exemplar = wtcs[len(wtcs)-1].TraceID
+		}
+		e.onWindow(g, wtcs)
 	}
+	return exemplar
 }
 
 // Collect implements nicsim.Collector, so an Engine can sit directly at the
@@ -321,6 +443,17 @@ func (e *Engine) Collect(recs []flowlog.Record) error {
 	e.Ingest(recs)
 	return nil
 }
+
+// CollectTraced implements nicsim.TracedCollector, carrying host agents'
+// sampled contexts straight into the traced ingest path.
+func (e *Engine) CollectTraced(recs []flowlog.Record, tcs []trace.Context) error {
+	e.IngestTraced(recs, tcs)
+	return nil
+}
+
+// Tracer returns the tracer the engine was configured with (nil when
+// tracing is off), so servers fronting the engine can continue its traces.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Flush closes open windows across all shards and returns all completed
 // window graphs.

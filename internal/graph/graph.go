@@ -3,6 +3,8 @@ package graph
 import (
 	"sort"
 	"time"
+
+	"cloudgraph/internal/trace"
 )
 
 // Counters is one direction's worth of traffic between a node pair.
@@ -53,10 +55,16 @@ type Graph struct {
 	Facet Facet
 	Start time.Time
 	End   time.Time
-	out   map[Node]map[Node]*Edge
-	in    map[Node]map[Node]*Edge
-	nodes map[Node]struct{}
-	edges int // number of unordered connected pairs
+	// Traces lists the trace contexts of the sampled records folded into
+	// this window, attached by the engine when the window completes so
+	// downstream consumers (the store append, OnWindow hooks) can record
+	// their own spans against the same trace IDs. Nil when tracing is off
+	// or no sampled record landed in the window; never serialized.
+	Traces []trace.Context
+	out    map[Node]map[Node]*Edge
+	in     map[Node]map[Node]*Edge
+	nodes  map[Node]struct{}
+	edges  int // number of unordered connected pairs
 }
 
 // New returns an empty graph with the given facet.

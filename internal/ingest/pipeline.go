@@ -7,12 +7,14 @@
 package ingest
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
 )
 
 // Pipeline is a parallel group-by-aggregation execution plan: records
@@ -23,6 +25,7 @@ type Pipeline struct {
 	workers []*worker
 	wg      sync.WaitGroup
 	meter   *Meter
+	tracer  *trace.Tracer
 
 	// mu guards closed and the worker channels: Ingest holds the read
 	// side while sending, Close holds the write side while closing, so an
@@ -75,6 +78,11 @@ func (p *Pipeline) Instrument(reg *telemetry.Registry) {
 	p.meter.Instrument(reg)
 }
 
+// Trace attaches tr so IngestTraced records "ingest.shard" spans for
+// sampled records. Call before the first Ingest; nil leaves the pipeline
+// untraced.
+func (p *Pipeline) Trace(tr *trace.Tracer) { p.tracer = tr }
+
 // shardSeed keeps sharding deterministic across runs.
 const shardSeed = 0x51ed2701
 
@@ -104,17 +112,31 @@ func ShardOf(k flowlog.FlowKey, n int) int {
 // shards to the workers. It blocks only when worker queues are full
 // (backpressure), mirroring the paper's SaaS sketch where the stream
 // processor adapts to load. Ingest after Close is a no-op.
-func (p *Pipeline) Ingest(batch []flowlog.Record) {
+func (p *Pipeline) Ingest(batch []flowlog.Record) { p.IngestTraced(batch, nil) }
+
+// IngestTraced is Ingest with out-of-band trace contexts: tcs is nil or
+// parallel to batch, and each sampled record gets an "ingest.shard" span
+// covering the split-and-dispatch hand-off. Aggregation output is
+// identical to Ingest — contexts never touch the records.
+func (p *Pipeline) IngestTraced(batch []flowlog.Record, tcs []trace.Context) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed || len(batch) == 0 {
 		return
+	}
+	tr := p.tracer
+	var traceStart time.Time
+	if tr != nil && len(tcs) == len(batch) {
+		traceStart = time.Now()
+	} else {
+		tcs = nil
 	}
 	p.meter.Observe(len(batch))
 	n := len(p.workers)
 	if n == 1 {
 		//lint:allow lockscope the send must stay inside the RLock: Close holds the write lock while closing worker channels, so a send here can never hit a closed channel (the PR-1 race this guards against); workers drain concurrently, so the send cannot deadlock the RLock
 		p.workers[0].in <- batch
+		p.recordShardSpans(batch, tcs, traceStart, 1)
 		return
 	}
 	shards := make([][]flowlog.Record, n)
@@ -126,6 +148,21 @@ func (p *Pipeline) Ingest(batch []flowlog.Record) {
 		if len(s) > 0 {
 			//lint:allow lockscope send under RLock is the close-race guard; see the single-worker case above
 			p.workers[i].in <- s
+		}
+	}
+	p.recordShardSpans(batch, tcs, traceStart, n)
+}
+
+// recordShardSpans emits the "ingest.shard" span for every sampled record
+// of the batch; a nil tcs is a no-op.
+func (p *Pipeline) recordShardSpans(batch []flowlog.Record, tcs []trace.Context, start time.Time, n int) {
+	if tcs == nil {
+		return
+	}
+	d := time.Since(start)
+	for i, tc := range tcs {
+		if tc.Sampled() {
+			p.tracer.Record(tc, "ingest.shard", start, d, "shard="+strconv.Itoa(ShardOf(batch[i].Key(), n)))
 		}
 	}
 }

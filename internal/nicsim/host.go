@@ -1,13 +1,16 @@
 package nicsim
 
 import (
+	"log/slog"
 	"net/netip"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
 )
 
 // Collector receives batches of connection summaries forwarded by host
@@ -23,6 +26,26 @@ type CollectorFunc func(recs []flowlog.Record) error
 // Collect calls f.
 func (f CollectorFunc) Collect(recs []flowlog.Record) error { return f(recs) }
 
+// TracedCollector is a Collector that can also accept the per-record trace
+// contexts of a sampled batch. tcs is either nil or parallel to recs, with
+// the zero Context on unsampled records. Collectors that don't implement
+// it still receive the records — tracing degrades, the data does not.
+type TracedCollector interface {
+	Collector
+	CollectTraced(recs []flowlog.Record, tcs []trace.Context) error
+}
+
+// forward hands a batch to c, through the traced path when the batch has
+// sampled records and the collector supports it.
+func forward(c Collector, recs []flowlog.Record, tcs []trace.Context) error {
+	if tcs != nil {
+		if tc, ok := c.(TracedCollector); ok {
+			return tc.CollectTraced(recs, tcs)
+		}
+	}
+	return c.Collect(recs)
+}
+
 // Host models one physical cloud host: a set of VNICs (one per VM placed on
 // the host) and the agent that periodically pulls their flow summaries and
 // forwards them to a collector. Crucially the agent runs on the host, not in
@@ -37,6 +60,11 @@ type Host struct {
 	// Fabric-wide counters, bound by Fabric.Instrument (nil when off).
 	telDrained *telemetry.Counter
 	telAged    *telemetry.Counter
+
+	// Fabric-wide tracer, bound by Fabric.Trace (nil when off). All
+	// tracer methods are nil-safe, but Pull still branches on it to skip
+	// the per-record sampling loop entirely when tracing is disabled.
+	tracer *trace.Tracer
 }
 
 // NewHost returns an empty host whose VNICs use the given idle timeout.
@@ -84,6 +112,7 @@ func (h *Host) VMs() []netip.Addr {
 func (h *Host) Pull(intervalStart time.Time, c Collector) (int, error) {
 	h.mu.Lock()
 	drained := h.telDrained
+	tracer := h.tracer
 	vnics := make([]*VNIC, 0, len(h.vnics))
 	for _, v := range h.vnics {
 		vnics = append(vnics, v)
@@ -91,6 +120,11 @@ func (h *Host) Pull(intervalStart time.Time, c Collector) (int, error) {
 	h.mu.Unlock()
 	sort.Slice(vnics, func(i, j int) bool { return vnics[i].local.Compare(vnics[j].local) < 0 })
 
+	var drainStart time.Time
+	if tracer != nil {
+		//lint:allow detclock span timestamps are observability-only and never reach the record stream
+		drainStart = time.Now()
+	}
 	var batch []flowlog.Record
 	for _, v := range vnics {
 		batch = append(batch, v.Drain(intervalStart)...)
@@ -98,7 +132,32 @@ func (h *Host) Pull(intervalStart time.Time, c Collector) (int, error) {
 	if len(batch) == 0 {
 		return 0, nil
 	}
-	if err := c.Collect(batch); err != nil {
+
+	// Sample trace contexts out-of-band: tcs is parallel to batch, never
+	// stored in the records themselves, so replay streams stay
+	// byte-identical whether or not a tracer is attached.
+	var tcs []trace.Context
+	if tracer != nil {
+		for i := range batch {
+			if ctx := tracer.Sample(); ctx.Sampled() {
+				if tcs == nil {
+					tcs = make([]trace.Context, len(batch))
+				}
+				tcs[i] = ctx
+			}
+		}
+		//lint:allow detclock span timestamps are observability-only and never reach the record stream
+		drainDur := time.Since(drainStart)
+		note := "records=" + strconv.Itoa(len(batch)) + " vnics=" + strconv.Itoa(len(vnics))
+		for _, tc := range tcs {
+			if tc.Sampled() {
+				tracer.Record(tc, "nicsim.pull", drainStart, drainDur, note)
+			}
+		}
+	}
+
+	if err := forward(c, batch, tcs); err != nil {
+		tracer.Eventf(trace.Context{}, "nicsim", slog.LevelError, "collector rejected batch of %d records: %v", len(batch), err)
 		return 0, err
 	}
 	drained.Add(int64(len(batch)))
@@ -130,6 +189,9 @@ type Fabric struct {
 	// Fleet counters registered by Instrument; new hosts inherit them.
 	telDrained *telemetry.Counter
 	telAged    *telemetry.Counter
+
+	// Fleet tracer bound by Trace; new hosts inherit it.
+	tracer *trace.Tracer
 }
 
 // NewFabric returns a fabric that packs vmsPerHost VMs onto each host.
@@ -153,6 +215,9 @@ func (f *Fabric) AddVM(addr netip.Addr) {
 	} else {
 		h = NewHost(f.idleTO)
 		h.bind(f.telDrained, f.telAged)
+		h.mu.Lock()
+		h.tracer = f.tracer
+		h.mu.Unlock()
 		f.hosts = append(f.hosts, h)
 	}
 	f.byVM[addr] = h.PlaceVM(addr)

@@ -1,6 +1,25 @@
 package nicsim
 
-import "cloudgraph/internal/telemetry"
+import (
+	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
+)
+
+// Trace binds tr to every current and future host, making host agents
+// sample drained records and record "nicsim.pull" spans — the first hop of
+// the record's journey through the pipeline. A nil tracer (or never
+// calling Trace) leaves collection untraced; the record stream is
+// byte-identical either way because contexts travel out-of-band.
+func (f *Fabric) Trace(tr *trace.Tracer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tracer = tr
+	for _, h := range f.hosts {
+		h.mu.Lock()
+		h.tracer = tr
+		h.mu.Unlock()
+	}
+}
 
 // Instrument registers the collection-path metric families in reg and binds
 // every current and future host to them: records drained by host agents,

@@ -24,6 +24,7 @@ import (
 
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
 )
 
 var magic = [8]byte{'c', 'g', 'r', 'a', 'p', 'h', '0', '1'}
@@ -41,6 +42,11 @@ type Writer struct {
 	telWindows *telemetry.Counter
 	telBytes   *telemetry.Counter
 	telFsync   *telemetry.Histogram
+
+	// tracer, bound by Trace (nil when off): Append closes the journey of
+	// every sampled record riding the window with a "store.append" span,
+	// and a failed fsync trips the flight recorder.
+	tracer *trace.Tracer
 }
 
 // Instrument registers the store's metric families in reg: windows and
@@ -96,8 +102,15 @@ func Create(path string) (*Writer, error) {
 	return &Writer{f: f, w: bufio.NewWriterSize(f, 256<<10)}, nil
 }
 
+// Trace attaches tr (nil-safe, see Writer fields). Call before Append.
+func (w *Writer) Trace(tr *trace.Tracer) { w.tracer = tr }
+
 // Append serializes one window graph.
 func (w *Writer) Append(g *graph.Graph) error {
+	var appendStart time.Time
+	if w.tracer != nil && len(g.Traces) > 0 {
+		appendStart = time.Now()
+	}
 	body := encodeGraph(g)
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -110,6 +123,15 @@ func (w *Writer) Append(g *graph.Graph) error {
 	w.n++
 	w.telWindows.Add(1)
 	w.telBytes.Add(int64(4 + len(body)))
+	if w.tracer != nil && len(g.Traces) > 0 {
+		// The last span of the record's journey: the window it folded
+		// into is on disk (buffered; Sync makes it durable).
+		d := time.Since(appendStart)
+		note := fmt.Sprintf("window=%s bytes=%d", g.Start.UTC().Format(time.RFC3339), 4+len(body))
+		for _, tc := range g.Traces {
+			w.tracer.Record(tc, "store.append", appendStart, d, note)
+		}
+	}
 	return nil
 }
 
@@ -121,11 +143,18 @@ func (w *Writer) Count() int { return w.n }
 // store must survive a crash; Close syncs once more regardless.
 func (w *Writer) Sync() error {
 	if err := w.w.Flush(); err != nil {
+		w.tracer.Trip("store", "flush failed: "+err.Error())
 		return err
 	}
 	sp := telemetry.StartSpan(w.telFsync)
 	err := w.f.Sync()
 	sp.End()
+	if err != nil {
+		// A failed fsync means windows believed durable may be lost on
+		// crash — exactly the fault the flight recorder's pre-fault
+		// window exists to explain.
+		w.tracer.Trip("store", "fsync failed: "+err.Error())
+	}
 	return err
 }
 

@@ -30,12 +30,13 @@ func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
 	}
 	registerProcessMetrics(reg)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.Handle("/metrics", GetOnly(reg.Handler()))
+	mux.Handle("/healthz", GetOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if _, err := io.WriteString(w, "ok\n"); err != nil {
 			return // probe went away; nothing to clean up
 		}
-	})
+	})))
 	// pprof's handlers normally live on DefaultServeMux via its package
 	// init; wiring them explicitly keeps the ops mux self-contained.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -77,6 +78,22 @@ func (o *OpsServer) Handle(pattern string, h http.Handler) {
 // Close shuts the endpoint down immediately, dropping open scrapes.
 func (o *OpsServer) Close() error {
 	return o.srv.Close()
+}
+
+// GetOnly restricts h to GET and HEAD requests, answering anything else
+// with 405 and an Allow header — the read-only contract every ops view
+// shares. (net/http already suppresses response bodies on HEAD, so a
+// wrapped handler needs no HEAD-specific code.)
+func GetOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
 }
 
 // registerProcessMetrics adds the process-level gauges every ops endpoint

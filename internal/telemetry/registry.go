@@ -317,6 +317,13 @@ type Histogram struct {
 	counts []atomic.Uint64 // one per bound, plus the +Inf overflow bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
+
+	// Exemplar slot: the most recent observation that carried a trace ID
+	// (ObserveEx), linking the aggregate distribution back to one concrete
+	// /tracez trace. Two words racing independently is fine — an exemplar
+	// is an illustration, not an invariant.
+	exTrace atomic.Uint64
+	exValue atomic.Uint64 // float64 bits
 }
 
 // DurBuckets are the default latency buckets: eight decades from 1µs to
@@ -355,6 +362,28 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(d.Seconds())
 }
 
+// ObserveEx records one sample and, when traceID is non-zero, stores it as
+// the histogram's exemplar — the concrete trace that illustrates the
+// distribution's recent behaviour on /tracez.
+func (h *Histogram) ObserveEx(v float64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID != 0 {
+		h.exValue.Store(math.Float64bits(v))
+		h.exTrace.Store(traceID)
+	}
+}
+
+// Exemplar returns the last trace-linked observation (0, 0 when none).
+func (h *Histogram) Exemplar() (traceID uint64, v float64) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.exTrace.Load(), math.Float64frombits(h.exValue.Load())
+}
+
 // Count returns the number of samples observed (0 on nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -384,4 +413,11 @@ func (h *Histogram) write(buf *bytes.Buffer, name string, labels []Label) {
 	fmt.Fprintf(buf, "%s_bucket%s %d\n", name, labelString(labels, []Label{{"le", "+Inf"}}), cum)
 	fmt.Fprintf(buf, "%s_sum%s %s\n", name, labelString(labels, nil), formatFloat(h.Sum()))
 	fmt.Fprintf(buf, "%s_count%s %d\n", name, labelString(labels, nil), cum)
+	// The exemplar rides as a comment so plain text-format parsers skip
+	// it; scrapers that understand it can jump from the distribution to
+	// the concrete trace on /tracez.
+	if id, v := h.Exemplar(); id != 0 {
+		fmt.Fprintf(buf, "# exemplar %s%s trace_id=\"%016x\" value=%s\n",
+			name, labelString(labels, nil), id, formatFloat(v))
+	}
 }

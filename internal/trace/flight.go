@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one entry of the flight recorder: a structured log event or a
+// completed span, flattened to what a post-hoc fault investigation needs.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	TraceID   uint64    `json:"trace_id,omitempty"`
+	Component string    `json:"component"`
+	Kind      string    `json:"kind"` // "event", "span" or "trip"
+	Msg       string    `json:"msg"`
+}
+
+// DefaultFlightEvents is the ring capacity when none is configured.
+const DefaultFlightEvents = 4096
+
+// Flight is the crash/anomaly flight recorder: a fixed-size ring of the
+// last N events and spans. Add is lock-free — one atomic counter bump and
+// one atomic pointer store — so it can sit on every event path without
+// becoming a serialization point; writers never wait for readers or for
+// each other beyond cache traffic on the counter.
+//
+// Snapshot is a best-effort view: slots are read atomically one by one, so
+// a dump taken mid-write can contain a newer event in one slot than in its
+// neighbor. Seq numbers restore order and expose any gap. A nil *Flight is
+// a no-op.
+type Flight struct {
+	slots []atomic.Pointer[Event]
+	pos   atomic.Uint64
+
+	// tripMu serializes dumps; lastTrip rate-limits anomaly-triggered ones
+	// so an error storm produces one flight dump, not thousands.
+	tripMu   sync.Mutex
+	lastTrip atomic.Int64 // unix nanos of the last anomaly dump
+	tripGap  time.Duration
+	tripOut  io.Writer
+	trips    atomic.Uint64
+}
+
+// NewFlight returns a flight recorder retaining the last n entries
+// (DefaultFlightEvents when n <= 0). Anomaly dumps go to out (nil
+// disables them; /flightz and explicit dumps still work) at most once per
+// minGap (default 5s when <= 0).
+func NewFlight(n int, out io.Writer, minGap time.Duration) *Flight {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	if minGap <= 0 {
+		minGap = 5 * time.Second
+	}
+	return &Flight{slots: make([]atomic.Pointer[Event], n), tripGap: minGap, tripOut: out}
+}
+
+// Add appends one entry, overwriting the oldest once the ring is full.
+func (f *Flight) Add(ev Event) {
+	if f == nil {
+		return
+	}
+	seq := f.pos.Add(1)
+	ev.Seq = seq
+	f.slots[(seq-1)%uint64(len(f.slots))].Store(&ev)
+}
+
+// Snapshot returns the retained entries ordered by sequence number.
+func (f *Flight) Snapshot() []Event {
+	if f == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(f.slots))
+	for i := range f.slots {
+		if p := f.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump writes the retained window as text, newest last — the "what
+// happened in the seconds before the fault" view.
+func (f *Flight) Dump(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	evs := f.Snapshot()
+	if _, err := fmt.Fprintf(w, "flight recorder: %d of %d slots, %d total entries\n",
+		len(evs), len(f.slots), f.pos.Load()); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		trace := ""
+		if ev.TraceID != 0 {
+			trace = fmt.Sprintf(" trace=%016x", ev.TraceID)
+		}
+		if _, err := fmt.Fprintf(w, "%8d %s %-9s %-5s%s %s\n",
+			ev.Seq, ev.Time.UTC().Format("15:04:05.000000"), ev.Component, ev.Kind, trace, ev.Msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trip records an anomaly and dumps the pre-fault window to the configured
+// output, rate-limited: trips inside the minimum gap only record the event
+// (the storm is visible in the ring, the dump is not repeated). It returns
+// true when a dump was written.
+func (f *Flight) Trip(component, reason string) bool {
+	if f == nil {
+		return false
+	}
+	f.trips.Add(1)
+	f.Add(Event{Time: time.Now(), Component: component, Kind: "trip", Msg: reason})
+	if f.tripOut == nil {
+		return false
+	}
+	now := time.Now().UnixNano()
+	last := f.lastTrip.Load()
+	if now-last < int64(f.tripGap) || !f.lastTrip.CompareAndSwap(last, now) {
+		return false
+	}
+	f.tripMu.Lock()
+	defer f.tripMu.Unlock()
+	if _, err := fmt.Fprintf(f.tripOut, "flight recorder tripped: %s: %s\n", component, reason); err != nil {
+		return false
+	}
+	//lint:allow errdrop the trip dump is best-effort diagnostics on an already-failing path; a broken sink must not mask the original fault
+	f.Dump(f.tripOut)
+	return true
+}
+
+// Trips returns how many anomalies have tripped (including rate-limited
+// ones that did not dump).
+func (f *Flight) Trips() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.trips.Load()
+}

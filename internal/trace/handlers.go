@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The ops-endpoint views. Both handlers follow the same HTTP contract as
+// the rest of the ops surface: GET and HEAD only (405 otherwise, with an
+// Allow header) and an explicit Content-Type.
+
+// allowGetHead gates a handler to GET/HEAD; it reports whether the request
+// may proceed. (Kept local so the trace package stays dependency-free;
+// telemetry.GetOnly is the shared wrapper for handlers registered on the
+// ops mux.)
+func allowGetHead(w http.ResponseWriter, r *http.Request) bool {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		return true
+	default:
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+}
+
+// tracezTrace is the JSON shape of one trace in the /tracez list.
+type tracezTrace struct {
+	TraceID string `json:"trace_id"`
+	Spans   []Span `json:"spans"`
+}
+
+// TracezHandler serves the span recorder: with no query, the list of
+// retained traces (one line per trace: id, span count, stage path); with
+// ?trace=<hex id>, that trace's waterfall. ?format=json switches either
+// view to a JSON document.
+func TracezHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !allowGetHead(w, r) {
+			return
+		}
+		if rec == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		wantJSON := r.URL.Query().Get("format") == "json"
+		if idStr := r.URL.Query().Get("trace"); idStr != "" {
+			id, err := strconv.ParseUint(strings.TrimPrefix(idStr, "0x"), 16, 64)
+			if err != nil {
+				http.Error(w, "trace must be a hex trace ID", http.StatusBadRequest)
+				return
+			}
+			spans := rec.Trace(id)
+			if len(spans) == 0 {
+				http.Error(w, "unknown trace", http.StatusNotFound)
+				return
+			}
+			if wantJSON {
+				writeJSON(w, tracezTrace{TraceID: fmt.Sprintf("%016x", id), Spans: spans})
+				return
+			}
+			writeText(w, waterfall(id, spans))
+			return
+		}
+		ids := rec.TraceIDs()
+		if wantJSON {
+			out := make([]tracezTrace, 0, len(ids))
+			for _, id := range ids {
+				out = append(out, tracezTrace{TraceID: fmt.Sprintf("%016x", id), Spans: rec.Trace(id)})
+			}
+			writeJSON(w, out)
+			return
+		}
+		var buf bytes.Buffer
+		recorded, dropped, evicted := rec.Stats()
+		fmt.Fprintf(&buf, "%d traces retained (%d spans recorded, %d dropped, %d traces evicted)\n",
+			len(ids), recorded, dropped, evicted)
+		for _, id := range ids {
+			spans := rec.Trace(id)
+			stages := make([]string, len(spans))
+			for i, sp := range spans {
+				stages[i] = sp.Stage
+			}
+			fmt.Fprintf(&buf, "%016x  %2d spans  %s\n", id, len(spans), strings.Join(stages, " -> "))
+		}
+		writeText(w, buf.Bytes())
+	})
+}
+
+// waterfall renders one trace as a text waterfall: spans in start order
+// with offsets from the first span.
+func waterfall(id uint64, spans []Span) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "trace %016x — %d spans\n", id, len(spans))
+	t0 := spans[0].Start
+	for _, sp := range spans {
+		note := ""
+		if sp.Note != "" {
+			note = "  " + sp.Note
+		}
+		fmt.Fprintf(&buf, "%12s +%-12s %-16s dur=%-12s%s\n",
+			sp.Start.UTC().Format("15:04:05.000"), sp.Start.Sub(t0), sp.Stage, sp.Dur, note)
+	}
+	return buf.Bytes()
+}
+
+// writeText emits one text/plain document.
+func writeText(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := w.Write(body); err != nil {
+		return // client went away mid-response
+	}
+}
+
+// FlightzHandler serves the flight recorder ring: the text dump by
+// default, ?format=json for the raw entries.
+func FlightzHandler(f *Flight) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !allowGetHead(w, r) {
+			return
+		}
+		if f == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, f.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := f.Dump(w); err != nil {
+			return // scraper went away mid-dump; nothing to clean up
+		}
+	})
+}
+
+// writeJSON emits one JSON document with the right Content-Type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		return // client went away mid-response
+	}
+}

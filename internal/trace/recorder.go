@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed pipeline stage of a sampled record's journey.
+type Span struct {
+	TraceID uint64        `json:"trace_id"`
+	SpanID  uint64        `json:"span_id"`
+	Stage   string        `json:"stage"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur_ns"`
+	Note    string        `json:"note,omitempty"`
+}
+
+// DefaultMaxTraces bounds the recorder when no explicit capacity is given.
+const DefaultMaxTraces = 256
+
+// maxSpansPerTrace caps one trace's buffer so a pathological trace (e.g. a
+// context accidentally reused for a whole stream) cannot grow without
+// bound; later spans are dropped and the drop is visible as a count.
+const maxSpansPerTrace = 64
+
+// Recorder keeps the spans of recently sampled traces, bounded: at most
+// maxTraces traces are retained (oldest evicted first) and each trace holds
+// at most maxSpansPerTrace spans. Sampled records are rare by construction
+// (the sampler's job), so a mutex is fine here — the hot path never reaches
+// the recorder because unsampled contexts short-circuit in Record.
+//
+// A nil *Recorder is a no-op.
+type Recorder struct {
+	mu       sync.Mutex
+	traces   map[uint64][]Span
+	order    []uint64 // trace IDs in arrival order; the eviction queue
+	max      int
+	dropped  uint64 // spans dropped by the per-trace cap
+	evicted  uint64 // whole traces evicted by the capacity bound
+	recorded uint64 // spans accepted
+}
+
+// NewRecorder returns a recorder retaining up to maxTraces traces
+// (DefaultMaxTraces when <= 0).
+func NewRecorder(maxTraces int) *Recorder {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	return &Recorder{traces: make(map[uint64][]Span), max: maxTraces}
+}
+
+// Record appends one span to ctx's trace. Unsampled contexts and nil
+// recorders return immediately — the single-branch disabled path.
+func (r *Recorder) Record(ctx Context, stage string, start time.Time, d time.Duration, note string) {
+	if r == nil || !ctx.Sampled() {
+		return
+	}
+	sp := Span{
+		TraceID: ctx.TraceID,
+		SpanID:  ctx.SpanID,
+		Stage:   stage,
+		Start:   start,
+		Dur:     d,
+		Note:    note,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spans, ok := r.traces[ctx.TraceID]
+	if !ok {
+		if len(r.order) >= r.max {
+			oldest := r.order[0]
+			r.order = r.order[1:]
+			delete(r.traces, oldest)
+			r.evicted++
+		}
+		r.order = append(r.order, ctx.TraceID)
+	}
+	if len(spans) >= maxSpansPerTrace {
+		r.dropped++
+		return
+	}
+	r.traces[ctx.TraceID] = append(spans, sp)
+	r.recorded++
+}
+
+// Trace returns a copy of the spans recorded for id, ordered by start
+// time, or nil when the trace is unknown (or the recorder nil).
+func (r *Recorder) Trace(id uint64) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	spans := append([]Span(nil), r.traces[id]...)
+	r.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans
+}
+
+// TraceIDs returns the retained trace IDs, oldest first.
+func (r *Recorder) TraceIDs() []uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]uint64(nil), r.order...)
+}
+
+// Stats reports the recorder's accounting: spans accepted, spans dropped by
+// the per-trace cap, and whole traces evicted by the capacity bound.
+func (r *Recorder) Stats() (recorded, dropped, evicted uint64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded, r.dropped, r.evicted
+}
