@@ -21,6 +21,7 @@ import (
 	"cloudgraph/internal/matrix"
 	"cloudgraph/internal/nicsim"
 	"cloudgraph/internal/policy"
+	"cloudgraph/internal/runner"
 	"cloudgraph/internal/segment"
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
@@ -373,6 +374,43 @@ func BenchmarkEngineIngestTracing(b *testing.B) {
 			tcs[i] = s.Next()
 		}
 		run(b, trace.New(trace.Options{SampleEvery: 1024, Seed: 1}), tcs)
+	})
+}
+
+// BenchmarkEngineIngestConsumers measures the consumer-bus tax on the
+// ingest hot path: the same batch stream with no consumers versus the
+// full analysis plane (timeline plus all four runners) attached. The bus
+// publishes on window close and each consumer runs on its own goroutine
+// behind a drop-oldest buffer, so the attached configuration must track
+// the bare one — the slow-consumer policy exists precisely so analyses
+// never tax the merge path (TestTelemetryOverheadWithinBudget enforces
+// the 10% budget).
+func BenchmarkEngineIngestConsumers(b *testing.B) {
+	loadFixtures(b)
+	recs := fixK8s.records
+	const batch = 4096
+	run := func(b *testing.B, cons []core.ConsumerSpec) {
+		e := core.NewEngine(core.Config{Window: time.Hour, Shards: 4, Consumers: cons})
+		defer e.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := i * batch % len(recs)
+			end := off + batch
+			if end > len(recs) {
+				end = len(recs)
+			}
+			e.Ingest(recs[off:end])
+		}
+		b.StopTimer()
+		if len(e.Flush()) == 0 {
+			b.Fatal("no windows completed")
+		}
+		b.ReportMetric(float64(int64(batch)*int64(b.N))/b.Elapsed().Seconds(), "records/s")
+	}
+	b.Run("consumers=off", func(b *testing.B) { run(b, nil) })
+	b.Run("consumers=plane", func(b *testing.B) {
+		run(b, runner.New(runner.Config{}).Consumers())
 	})
 }
 

@@ -11,12 +11,21 @@
 //
 //	printf 'STATS\n' | nc 127.0.0.1 7443
 //
+// With -live (the default) the daemon also runs the online analysis
+// plane: every completed window is appended to a versioned timeline
+// (minute-or-whatever windows rolled up into -rollup buckets, -retention
+// windows kept) and analyzed in place by the §2 runners — segmentation,
+// succinct summary with anomaly score, counterfactual capacity plan and
+// policy churn. Results are served over QUERY (`graphctl query segment
+// latest`) and the /analyz ops view, pinned to the epoch that produced
+// them.
+//
 // A second HTTP listener (-ops, default 127.0.0.1:9443) serves operational
 // views of the running daemon: Prometheus metrics on /metrics, liveness on
 // /healthz, profiling on /debug/pprof/, the latest window's adjacency
-// heatmap on /graphz, sampled record traces on /tracez and the flight
-// recorder on /flightz. SIGQUIT dumps the flight ring to stderr without
-// stopping the daemon.
+// heatmap on /graphz, sampled record traces on /tracez, the flight
+// recorder on /flightz and the analysis plane on /analyz. SIGQUIT dumps
+// the flight ring to stderr without stopping the daemon.
 package main
 
 import (
@@ -32,8 +41,10 @@ import (
 	"cloudgraph/internal/analytics"
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/graph"
+	"cloudgraph/internal/runner"
 	"cloudgraph/internal/store"
 	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/timeline"
 	"cloudgraph/internal/trace"
 )
 
@@ -67,6 +78,9 @@ func main() {
 		traceSample = flag.Int("trace-sample", 0, "trace one in N ingested records end to end (0 disables span sampling)")
 		flightN     = flag.Int("flight-events", trace.DefaultFlightEvents, "flight recorder ring capacity (events and spans retained for /flightz and crash dumps)")
 		logLevel    = flag.String("log-level", "info", "structured event log level: debug, info, warn or error")
+		live        = flag.Bool("live", true, "run the online analysis plane (timeline + runners) on the consumer bus")
+		rollup      = flag.Duration("rollup", time.Hour, "timeline roll-up bucket size (0 disables roll-ups)")
+		retention   = flag.Int("retention", 96, "timeline window snapshots retained")
 	)
 	flag.Parse()
 
@@ -117,7 +131,21 @@ func main() {
 		log.Printf("persisting windows to %s", *storeTo)
 	}
 
-	srv, err := analytics.Serve(*addr, cfg)
+	// The analysis plane rides the same consumer bus as the store hook:
+	// timeline ingest plus one consumer per analysis, each buffered and
+	// drop-oldest so a slow analysis never blocks the merge path.
+	var plane *runner.Plane
+	if *live {
+		tcfg := timeline.Config{Retention: *retention, Rollup: *rollup}
+		if *rollup == 0 {
+			tcfg.Rollup = -1
+		}
+		plane = runner.New(runner.Config{Timeline: tcfg, Telemetry: reg, Trace: tr})
+		cfg.Consumers = plane.Consumers()
+		log.Printf("analysis plane on: %v (rollup=%v retention=%d)", plane.Runners(), *rollup, *retention)
+	}
+
+	srv, err := analytics.ServeWith(*addr, cfg, analytics.Options{Plane: plane})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,7 +161,12 @@ func main() {
 		ops.Handle("/graphz", analytics.GraphzHandler(srv.Engine()))
 		ops.Handle("/tracez", trace.TracezHandler(tr.Recorder()))
 		ops.Handle("/flightz", trace.FlightzHandler(tr.Flight()))
-		log.Printf("ops endpoint on http://%s (/metrics /healthz /debug/pprof/ /graphz /tracez /flightz)", ops.Addr())
+		views := "/metrics /healthz /debug/pprof/ /graphz /tracez /flightz"
+		if plane != nil {
+			ops.Handle("/analyz", plane.AnalyzHandler())
+			views += " /analyz"
+		}
+		log.Printf("ops endpoint on http://%s (%s)", ops.Addr(), views)
 	}
 
 	// SIGQUIT dumps the flight recorder — the last N events and spans

@@ -95,10 +95,7 @@ func expFig8(e *env) {
 		t := time.Now()
 		const batch = 8192
 		for i := 0; i < len(recs); i += batch {
-			end := i + batch
-			if end > len(recs) {
-				end = len(recs)
-			}
+			end := min(i+batch, len(recs))
 			p.Ingest(recs[i:end])
 		}
 		_, report := p.Close()
@@ -126,10 +123,7 @@ func expFig8(e *env) {
 			go func(w int) {
 				defer wg.Done()
 				for i := w * ebatch; i < len(recs); i += ebatch * shards {
-					end := i + ebatch
-					if end > len(recs) {
-						end = len(recs)
-					}
+					end := min(i+ebatch, len(recs))
 					eng.Ingest(recs[i:end])
 				}
 			}(w)
@@ -200,11 +194,4 @@ func expRules(e *env) {
 			rep.IPRuleUpdates, rep.TagUpdates)
 	}
 	fmt.Println("\nShape check: IP-rule counts scale with segment sizes (quadratic in fleet growth) and tags stay flat at the number of allowed peer segments; one segment move rewrites hundreds of peer tables without tags and O(1) with them.")
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

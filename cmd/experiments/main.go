@@ -8,7 +8,7 @@
 //	experiments -run table1 -kquery-scale 0.25
 //
 // Experiment ids: table1, table3, fig1, fig2, fig3, fig4, fig5, fig6, pca,
-// fig7, fig8, rules, hop, attacks, model, facets, enforce.
+// fig7, fig8, rules, hop, attacks, model, facets, enforce, live.
 package main
 
 import (
@@ -85,6 +85,7 @@ func main() {
 		{"model", expModel},
 		{"facets", expFacets},
 		{"enforce", expEnforce},
+		{"live", expLive},
 	}
 	want := map[string]bool{}
 	if *run != "all" {

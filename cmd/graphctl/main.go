@@ -13,6 +13,7 @@
 //	graphctl dot        file.flows
 //	graphctl plan       [-capacity 2e9] file.flows
 //	graphctl send       -addr host:port file.flows
+//	graphctl query      [-addr host:port] <analysis> [<epoch>|latest]
 //	graphctl diff       old.flows new.flows
 //	graphctl windows    [-window 1h] file.flows
 //	graphctl attribution file.flows
@@ -25,11 +26,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -75,6 +79,8 @@ func main() {
 		cmdPlan(args)
 	case "send":
 		cmdSend(args)
+	case "query":
+		cmdQuery(args)
 	case "diff":
 		cmdDiff(args)
 	case "windows":
@@ -91,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: graphctl {stats|segment|policy|summarize|heatmap|ccdf|pca|dot|plan|send|diff|windows|attribution|archive|history} [flags] <file>")
+	fmt.Fprintln(os.Stderr, "usage: graphctl {stats|segment|policy|summarize|heatmap|ccdf|pca|dot|plan|send|query|diff|windows|attribution|archive|history} [flags] <file>")
 	os.Exit(2)
 }
 
@@ -376,10 +382,7 @@ func cmdSend(args []string) {
 	defer client.Close()
 	start := time.Now()
 	for i := 0; i < len(recs); i += *batch {
-		end := i + *batch
-		if end > len(recs) {
-			end = len(recs)
-		}
+		end := min(i+*batch, len(recs))
 		if err := client.Ingest(recs[i:end]); err != nil {
 			log.Fatal(err)
 		}
@@ -400,6 +403,41 @@ func cmdSend(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("server: %d records, %d windows\n", stats.Records, stats.Windows)
+}
+
+// cmdQuery asks a live daemon's analysis plane for an online result:
+// `graphctl query segment latest` prints the segmentation of the newest
+// completed window, epoch-pinned so the exact snapshot is re-queryable.
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7443", "cloudgraphd address")
+	fs.Parse(args)
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: graphctl query [-addr host:port] <analysis> [<epoch>|latest]")
+		os.Exit(2)
+	}
+	var epoch uint64
+	if fs.NArg() == 2 && !strings.EqualFold(fs.Arg(1), "latest") {
+		n, err := strconv.ParseUint(fs.Arg(1), 10, 64)
+		if err != nil || n == 0 {
+			log.Fatalf("bad epoch %q: want a positive integer or \"latest\"", fs.Arg(1))
+		}
+		epoch = n
+	}
+	client, err := analytics.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	res, err := client.Query(fs.Arg(0), epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, res.Result, "", "  "); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis %s @ epoch %d\n%s\n", res.Analysis, res.Epoch, pretty.String())
 }
 
 func cmdDiff(args []string) {

@@ -12,6 +12,8 @@
 //     and their codecs must reference every field
 //   - errdrop:    error returns may not be silently discarded
 //   - floatcmp:   no ==/!= on floating-point values
+//   - busconsumer: window consumers on the engine's fan-out bus must not
+//     re-enter the engine ingest or lifecycle path (Ingest, Flush, Close)
 //
 // Findings can be suppressed per line with a justified inline comment:
 //

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// forbiddenEngineMethods are the Engine entry points a bus consumer must
+// never re-enter. Ingest/IngestTraced/Collect/CollectTraced feed the
+// pipeline that publishes to the very bus the consumer rides (unbounded
+// feedback); Flush drains the bus and would wait on the calling consumer
+// forever; Close waits for the consumer's own goroutine to exit.
+var forbiddenEngineMethods = map[string]string{
+	"Ingest":        "feeds the pipeline back into the bus the consumer rides",
+	"IngestTraced":  "feeds the pipeline back into the bus the consumer rides",
+	"Collect":       "feeds the pipeline back into the bus the consumer rides",
+	"CollectTraced": "feeds the pipeline back into the bus the consumer rides",
+	"Flush":         "drains the bus and would wait on this consumer forever",
+	"Close":         "waits for this consumer's own goroutine to exit",
+}
+
+// Busconsumer enforces the consumer-bus re-entrancy invariant: a window
+// consumer (any function installed as a ConsumerSpec.Fn) runs on a bus
+// delivery goroutine, so it must not call back into the engine's ingest
+// or lifecycle path — Engine.Ingest, IngestTraced, Collect, CollectTraced,
+// Flush or Close — directly or through same-package helpers. Ingest calls
+// re-enter the pipeline that publishes to the bus; Flush blocks until the
+// bus drains, which includes the consumer making the call; Close joins the
+// consumer's own goroutine. All three shapes are livelocks or deadlocks
+// that only fire under load, never in a quick test.
+//
+// Matching is name-based (a named struct type ConsumerSpec with a
+// function-typed Fn field; a named receiver type Engine) so the golden
+// testdata package, which cannot import internal/core, exercises the same
+// code paths the real module does.
+func Busconsumer() *Analyzer {
+	a := &Analyzer{
+		Name: "busconsumer",
+		Doc:  "flag bus consumers that re-enter the engine ingest or lifecycle path",
+	}
+	a.Run = runBusconsumer
+	return a
+}
+
+func runBusconsumer(p *Pass) {
+	// Index every function declaration so the walk can follow
+	// same-package calls transitively.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Roots: every expression installed as a ConsumerSpec Fn field, in
+	// keyed or positional literals.
+	var roots []consumerRoot
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			st, fields := consumerSpecStruct(p, lit)
+			if st == nil {
+				return true
+			}
+			for i, elt := range lit.Elts {
+				switch e := elt.(type) {
+				case *ast.KeyValueExpr:
+					if id, ok := e.Key.(*ast.Ident); ok && id.Name == "Fn" {
+						roots = append(roots, consumerRoot{expr: e.Value, name: specName(lit)})
+					}
+				default:
+					if i < len(fields) && fields[i] == "Fn" {
+						roots = append(roots, consumerRoot{expr: elt, name: specName(lit)})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	reported := map[ast.Node]bool{}
+	for _, root := range roots {
+		p.walkConsumer(root, root.expr, decls, map[*types.Func]bool{}, reported)
+	}
+}
+
+// consumerRoot is one Fn expression found in a ConsumerSpec literal.
+type consumerRoot struct {
+	expr ast.Expr
+	name string
+}
+
+// consumerSpecStruct returns the struct type and ordered field names when
+// lit is a composite literal of a named type ConsumerSpec whose Fn field
+// has a function type.
+func consumerSpecStruct(p *Pass, lit *ast.CompositeLit) (*types.Struct, []string) {
+	t := p.Info.TypeOf(lit)
+	if t == nil {
+		return nil, nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "ConsumerSpec" {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	fields := make([]string, st.NumFields())
+	hasFn := false
+	for i := 0; i < st.NumFields(); i++ {
+		fields[i] = st.Field(i).Name()
+		if fields[i] == "Fn" {
+			_, isFunc := st.Field(i).Type().Underlying().(*types.Signature)
+			hasFn = isFunc
+		}
+	}
+	if !hasFn {
+		return nil, nil
+	}
+	return st, fields
+}
+
+// specName extracts the literal's Name field value when it is a constant
+// string, for friendlier diagnostics.
+func specName(lit *ast.CompositeLit) string {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Name" {
+			if bl, ok := kv.Value.(*ast.BasicLit); ok {
+				if name, err := strconv.Unquote(bl.Value); err == nil {
+					return name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// walkConsumer scans the function behind expr for forbidden engine calls,
+// following function literals inline and same-package callees
+// transitively. seen breaks recursion cycles; reported dedupes sites
+// reachable from several roots.
+func (p *Pass) walkConsumer(root consumerRoot, expr ast.Expr, decls map[*types.Func]*ast.FuncDecl, seen map[*types.Func]bool, reported map[ast.Node]bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.FuncLit:
+		p.scanConsumerBody(root, e.Body, decls, seen, reported)
+	case *ast.Ident, *ast.SelectorExpr:
+		if fn := referencedFunc(p, e); fn != nil && !seen[fn] {
+			seen[fn] = true
+			if fd, ok := decls[fn]; ok {
+				p.scanConsumerBody(root, fd.Body, decls, seen, reported)
+			}
+		}
+	}
+}
+
+// referencedFunc resolves an identifier or selector to the function it
+// names, when it names one.
+func referencedFunc(p *Pass, expr ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// scanConsumerBody reports forbidden engine calls in body and recurses
+// into same-package callees and nested function literals that the
+// consumer invokes on its own goroutine.
+func (p *Pass) scanConsumerBody(root consumerRoot, body ast.Node, decls map[*types.Func]*ast.FuncDecl, seen map[*types.Func]bool, reported map[ast.Node]bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A goroutine the consumer spawns is not on the delivery path;
+		// blocking there does not stall the bus.
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if method, why := engineMethodCall(p, call); method != "" {
+			if !reported[call] {
+				reported[call] = true
+				label := "bus consumer"
+				if root.name != "" {
+					label = "bus consumer " + root.name
+				}
+				p.Reportf(call.Pos(), "%s calls Engine.%s: %s; consumers must never re-enter the engine", label, method, why)
+			}
+			return true
+		}
+		if fn := referencedFunc(p, call.Fun); fn != nil && !seen[fn] {
+			seen[fn] = true
+			if fd, ok := decls[fn]; ok {
+				p.scanConsumerBody(root, fd.Body, decls, seen, reported)
+			}
+		}
+		return true
+	})
+}
+
+// engineMethodCall reports the forbidden method name and rationale when
+// call invokes one of the engine's re-entrancy-unsafe methods on a value
+// whose named type is Engine (pointer or value receiver).
+func engineMethodCall(p *Pass, call *ast.CallExpr) (method, why string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	why, forbidden := forbiddenEngineMethods[sel.Sel.Name]
+	if !forbidden {
+		return "", ""
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Engine" {
+		return "", ""
+	}
+	return sel.Sel.Name, why
+}

@@ -98,6 +98,8 @@ func TestErrdropGolden(t *testing.T)    { runGolden(t, "errdrop", Errdrop()) }
 func TestFloatcmpGolden(t *testing.T)   { runGolden(t, "floatcmp", Floatcmp()) }
 func TestTracectxGolden(t *testing.T)   { runGolden(t, "tracectx", Tracectx()) }
 
+func TestBusconsumerGolden(t *testing.T) { runGolden(t, "busconsumer", Busconsumer()) }
+
 // TestModuleClean runs the full suite over the real module, pinning the
 // tree to zero findings — the same gate CI applies via cmd/cloudgraph-vet.
 func TestModuleClean(t *testing.T) {

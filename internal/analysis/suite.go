@@ -18,5 +18,6 @@ func Suite() []*Analyzer {
 			"cloudgraph/internal/matrix",
 			"cloudgraph/internal/summarize",
 		),
+		Busconsumer(), // module wide: consumer specs are built in core, runner, cmd and tests
 	}
 }

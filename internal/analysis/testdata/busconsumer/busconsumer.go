@@ -1,0 +1,125 @@
+// Package busconsumer is the golden-file input for the busconsumer
+// analyzer: window consumers that re-enter the engine's ingest or
+// lifecycle path. The package mirrors the shapes of internal/core —
+// a named Engine type and a ConsumerSpec struct with a function-typed
+// Fn field — because the analyzer matches those by name.
+package busconsumer
+
+// Graph stands in for graph.Graph.
+type Graph struct{}
+
+// Record stands in for flowlog.Record.
+type Record struct{}
+
+// WindowConsumer mirrors core.WindowConsumer.
+type WindowConsumer func(epoch uint64, g *Graph)
+
+// ConsumerSpec mirrors core.ConsumerSpec.
+type ConsumerSpec struct {
+	Name   string
+	Fn     WindowConsumer
+	Buffer int
+}
+
+// Engine mirrors the methods the analyzer forbids inside consumers.
+type Engine struct{ windows []*Graph }
+
+func (e *Engine) Ingest(recs []Record)        {}
+func (e *Engine) IngestTraced(recs []Record)  {}
+func (e *Engine) Collect(recs []Record) error { return nil }
+func (e *Engine) Flush() []*Graph             { return e.windows }
+func (e *Engine) Close()                      {}
+func (e *Engine) Windows() []*Graph           { return e.windows }
+func (e *Engine) Subscribe(spec ConsumerSpec) {}
+
+// direct re-entry in a keyed literal.
+func direct(e *Engine) ConsumerSpec {
+	return ConsumerSpec{
+		Name: "replayer",
+		Fn: func(epoch uint64, g *Graph) {
+			e.Ingest(nil) // want "bus consumer replayer calls Engine.Ingest"
+		},
+	}
+}
+
+// flushing mid-delivery deadlocks the drain.
+func flusher(e *Engine) ConsumerSpec {
+	return ConsumerSpec{
+		Name: "flusher",
+		Fn: func(epoch uint64, g *Graph) {
+			e.Flush() // want "bus consumer flusher calls Engine.Flush"
+		},
+	}
+}
+
+// a consumer closing its own engine joins its own goroutine.
+func closer(e *Engine) {
+	e.Subscribe(ConsumerSpec{
+		Name: "closer",
+		Fn: func(epoch uint64, g *Graph) {
+			e.Close() // want "bus consumer closer calls Engine.Close"
+		},
+	})
+}
+
+// positional literal: the Fn field is found by index, not key.
+func positional(e *Engine) ConsumerSpec {
+	return ConsumerSpec{"pos", func(epoch uint64, g *Graph) {
+		e.Collect(nil) // want "bus consumer calls Engine.Collect"
+	}, 8}
+}
+
+// reingest hides the re-entry one same-package call away; the analyzer
+// must follow it from the consumer root.
+func reingest(e *Engine, g *Graph) {
+	e.IngestTraced(nil) // want "bus consumer indirect calls Engine.IngestTraced"
+}
+
+func indirect(e *Engine) ConsumerSpec {
+	return ConsumerSpec{
+		Name: "indirect",
+		Fn:   func(epoch uint64, g *Graph) { reingest(e, g) },
+	}
+}
+
+// named declares the consumer as a method and installs it by reference —
+// the Fn expression is a method value, not a literal.
+type named struct{ e *Engine }
+
+func (c *named) onWindow(epoch uint64, g *Graph) {
+	c.e.Flush() // want "bus consumer calls Engine.Flush"
+}
+
+func (c *named) spec() ConsumerSpec {
+	return ConsumerSpec{Fn: c.onWindow}
+}
+
+// clean consumers: reads are fine, and work handed to another goroutine
+// is off the delivery path by construction.
+func clean(e *Engine) []ConsumerSpec {
+	return []ConsumerSpec{
+		{Name: "reader", Fn: func(epoch uint64, g *Graph) {
+			_ = e.Windows() // ok: reading completed windows does not re-enter
+		}},
+		{Name: "spawner", Fn: func(epoch uint64, g *Graph) {
+			go e.Flush() // ok: blocks a spawned goroutine, not the bus
+		}},
+	}
+}
+
+// notConsumer proves context sensitivity: the same helper is fine when
+// called outside a consumer.
+func notConsumer(e *Engine, g *Graph) {
+	reingest(e, g) // ok: not on a bus delivery goroutine
+}
+
+// suppressed pins the //lint:allow path.
+func suppressed(e *Engine) ConsumerSpec {
+	return ConsumerSpec{
+		Name: "suppressed",
+		Fn: func(epoch uint64, g *Graph) {
+			//lint:allow busconsumer golden test of the suppression path
+			e.Ingest(nil)
+		},
+	}
+}

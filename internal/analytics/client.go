@@ -194,6 +194,19 @@ func (c *Client) Summary() (SummaryResult, error) {
 	return r, err
 }
 
+// Query fetches the named online analysis result at an epoch; epoch 0
+// sends the "latest" selector. Requires a server with an analysis plane
+// attached (cloudgraphd -live).
+func (c *Client) Query(analysis string, epoch uint64) (QueryResult, error) {
+	cmd := fmt.Sprintf("QUERY %s latest", analysis)
+	if epoch > 0 {
+		cmd = fmt.Sprintf("QUERY %s %d", analysis, epoch)
+	}
+	var r QueryResult
+	err := c.jsonCmd(cmd, &r)
+	return r, err
+}
+
 // Anomalies fetches per-window drift scores.
 func (c *Client) Anomalies() ([]AnomalyResult, error) {
 	var r []AnomalyResult

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"net/netip"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -176,6 +178,54 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 			}
 			if tcs[i].Sampled() != tcs2[i].Sampled() || (tcs[i].Sampled() && tcs[i] != tcs2[i]) {
 				t.Fatalf("n=%d context %d: round-trip mismatch %+v vs %+v", n, i, tcs[i], tcs2[i])
+			}
+		}
+	})
+}
+
+// FuzzParseQuery drives the QUERY command decoder with arbitrary command
+// lines. The invariants: the decoder never panics, accepts only names in
+// its documented charset, and maps the epoch selector exactly — absent or
+// "latest" to 0, otherwise a positive integer.
+func FuzzParseQuery(f *testing.F) {
+	f.Add("QUERY segment latest")
+	f.Add("QUERY summarize 17")
+	f.Add("QUERY policy")
+	f.Add("QUERY counterfactual 0")
+	f.Add("QUERY bad!name 3")
+	f.Add("QUERY a b c d")
+	f.Add("QUERY \x00\xff latest")
+	f.Add("QUERY segment 18446744073709551615")
+	f.Add("QUERY segment 99999999999999999999999")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		fields := strings.Fields(line)
+		name, epoch, err := parseQuery(fields)
+		if err != nil {
+			if name != "" || epoch != 0 {
+				t.Fatalf("error path leaked values: name=%q epoch=%d err=%v", name, epoch, err)
+			}
+			return
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			t.Fatalf("accepted %d fields: %q", len(fields), line)
+		}
+		if name != fields[1] || !validAnalysisName(name) {
+			t.Fatalf("accepted name %q from %q", name, line)
+		}
+		switch {
+		case len(fields) == 2:
+			if epoch != 0 {
+				t.Fatalf("no selector but epoch=%d", epoch)
+			}
+		case strings.EqualFold(fields[2], "latest"):
+			if epoch != 0 {
+				t.Fatalf("latest selector but epoch=%d", epoch)
+			}
+		default:
+			n, perr := strconv.ParseUint(fields[2], 10, 64)
+			if perr != nil || n == 0 || epoch != n {
+				t.Fatalf("selector %q decoded to epoch=%d (parse err %v)", fields[2], epoch, perr)
 			}
 		}
 	})

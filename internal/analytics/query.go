@@ -1,0 +1,85 @@
+package analytics
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// errQueryUsage is the canonical QUERY syntax error.
+var errQueryUsage = errors.New(`usage: QUERY <analysis> [<epoch>|latest]`)
+
+// parseQuery decodes a QUERY command's whitespace-split fields
+// (fields[0] is the command word itself) into an analysis name and an
+// epoch selector, where epoch 0 means "latest". It is a pure function of
+// its input — no server state — so the fuzzer can drive it directly
+// alongside the binary wire decoders.
+func parseQuery(fields []string) (name string, epoch uint64, err error) {
+	if len(fields) < 2 || len(fields) > 3 {
+		return "", 0, errQueryUsage
+	}
+	name = fields[1]
+	if !validAnalysisName(name) {
+		return "", 0, fmt.Errorf("bad analysis name %q: want lowercase letters, digits, '.', '_' or '-'", name)
+	}
+	if len(fields) == 2 {
+		return name, 0, nil
+	}
+	sel := fields[2]
+	if strings.EqualFold(sel, "latest") {
+		return name, 0, nil
+	}
+	n, perr := strconv.ParseUint(sel, 10, 64)
+	if perr != nil || n == 0 {
+		return "", 0, fmt.Errorf(`bad epoch %q: want a positive integer or "latest"`, sel)
+	}
+	return name, n, nil
+}
+
+// validAnalysisName bounds the QUERY name charset so a desynced binary
+// stream read as a command line cannot smuggle arbitrary bytes into error
+// messages or logs.
+func validAnalysisName(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// QueryResult is the QUERY response: one online analysis result pinned to
+// the epoch whose snapshot produced it, so a "latest" answer is
+// attributable and exactly re-queryable.
+//
+//wire:schema
+type QueryResult struct {
+	Analysis string          `json:"analysis"`
+	Epoch    uint64          `json:"epoch"`
+	Result   json.RawMessage `json:"result"`
+}
+
+func (s *Server) cmdQuery(fields []string) (any, error) {
+	if s.plane == nil {
+		return nil, errors.New("no analysis plane attached (start cloudgraphd with -live)")
+	}
+	name, epoch, err := parseQuery(fields)
+	if err != nil {
+		return nil, err
+	}
+	at, res, err := s.plane.Query(name, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return QueryResult{Analysis: name, Epoch: at, Result: res}, nil
+}

@@ -16,7 +16,11 @@
 //	MONITOR                                            -> JSON MonitorResult
 //	SUMMARY                                            -> JSON SummaryResult
 //	ANOMALIES                                          -> JSON []AnomalyResult
+//	QUERY <analysis> [<epoch>|latest]                  -> JSON QueryResult
 //	QUIT                                               -> connection closes
+//
+// QUERY reads the online analysis plane (Options.Plane); without a plane
+// attached it answers ERR.
 package analytics
 
 import (
@@ -36,6 +40,7 @@ import (
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/model"
+	"cloudgraph/internal/runner"
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
 	"cloudgraph/internal/trace"
@@ -49,6 +54,11 @@ type Options struct {
 	// WriteTimeout bounds writing one response to a peer that has stopped
 	// reading. Zero means 1 minute.
 	WriteTimeout time.Duration
+	// Plane, when set, answers QUERY commands with online analysis
+	// results. The caller owns wiring the plane's consumers onto the
+	// engine bus (core.Config.Consumers = plane.Consumers()); the server
+	// only reads from it.
+	Plane *runner.Plane
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +100,7 @@ func (m *serverMetrics) instrument(reg *telemetry.Registry) {
 // Server is a running analytics service.
 type Server struct {
 	engine *core.Engine
+	plane  *runner.Plane
 	ln     net.Listener
 	opts   Options
 	tel    serverMetrics
@@ -117,6 +128,7 @@ func ServeWith(addr string, cfg core.Config, opts Options) (*Server, error) {
 	}
 	s := &Server{
 		engine: core.NewEngine(cfg),
+		plane:  opts.Plane,
 		ln:     ln,
 		opts:   opts.withDefaults(),
 		conns:  make(map[net.Conn]struct{}),
@@ -150,6 +162,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	s.engine.Close() // stop the consumer-bus goroutines after the last handler exits
 	return err
 }
 
@@ -228,7 +241,13 @@ func (s *Server) handle(conn net.Conn) {
 		case "INGEST":
 			out, cmdErr = s.cmdIngest(fields, r)
 		case "FLUSH":
-			out = textResponse(fmt.Sprintf("OK %d", len(s.engine.Flush())))
+			n := len(s.engine.Flush())
+			if s.plane != nil {
+				// Flush drained the bus, so the timeline has every window;
+				// seal the in-progress roll-up bucket to make it queryable.
+				s.plane.Seal()
+			}
+			out = textResponse(fmt.Sprintf("OK %d", n))
 		case "STATS":
 			out = s.stats()
 		case "WINDOWS":
@@ -243,6 +262,8 @@ func (s *Server) handle(conn net.Conn) {
 			out, cmdErr = s.cmdSummary()
 		case "ANOMALIES":
 			out = s.cmdAnomalies()
+		case "QUERY":
+			out, cmdErr = s.cmdQuery(fields)
 		default:
 			cmdErr = fmt.Errorf("unknown command %q", cmd)
 		}

@@ -46,11 +46,21 @@ type Config struct {
 	// identical at any width. Default 1.
 	Shards int
 	// OnWindow, when set, is called with each completed (and collapsed)
-	// window — the hook durable stores attach to. Hooks run in window
-	// order with no engine lock held except the close serializer, so a
-	// hook may use the read APIs (Windows, Latest, Monitor, Summary) but
-	// must not call Ingest or Flush.
+	// window. It is a compatibility shim over the consumer bus: the hook
+	// is auto-registered as the bus consumer named "hook", so it runs on
+	// a dedicated goroutine in window order and is drained by Flush. Like
+	// every consumer it may use the read APIs (Windows, Latest, Monitor,
+	// Summary) but must not call Ingest or Flush. New code should declare
+	// Consumers instead.
 	OnWindow func(*graph.Graph)
+	// Consumers are the fan-out bus subscribers receiving each completed
+	// window together with its epoch. See WindowConsumer for the
+	// contract and Bus for the slow-consumer policy. More can be added
+	// later with Engine.Subscribe.
+	Consumers []ConsumerSpec
+	// ConsumerBuffer is the per-consumer queue capacity before the bus
+	// drops the oldest undelivered window (default 64).
+	ConsumerBuffer int
 	// Telemetry, when set, receives the engine's metrics: per-shard
 	// ingest counts, window merge latency, OnWindow hook duration, open
 	// and pending-merge window gauges, and the shared ingest counters.
@@ -115,6 +125,12 @@ type Engine struct {
 	// tel holds the preallocated metric handles (all nil when
 	// Config.Telemetry is unset).
 	tel engineMetrics
+
+	// bus fans completed windows out to consumers; epoch numbers them.
+	// onWindow (serialized by closeMu) is the only publisher and the only
+	// writer of epoch.
+	bus   *Bus
+	epoch atomic.Uint64
 
 	mu      sync.Mutex
 	windows []*graph.Graph // collapsed, completed windows in order
@@ -191,8 +207,36 @@ func NewEngine(cfg Config) *Engine {
 		e.shards = append(e.shards, &engineShard{windower: w})
 	}
 	e.instrument(cfg.Telemetry)
+	e.bus = newBus(cfg.ConsumerBuffer, cfg.Telemetry, cfg.Trace)
+	if cfg.OnWindow != nil {
+		hook := cfg.OnWindow
+		e.bus.Subscribe(ConsumerSpec{Name: "hook", Fn: func(_ uint64, g *graph.Graph) {
+			sp := telemetry.StartSpan(e.tel.hook)
+			hook(g)
+			sp.End()
+		}})
+	}
+	for _, spec := range cfg.Consumers {
+		e.bus.Subscribe(spec)
+	}
 	return e
 }
+
+// Subscribe registers an additional bus consumer. Consumers added after
+// windows completed miss the earlier epochs.
+func (e *Engine) Subscribe(spec ConsumerSpec) { e.bus.Subscribe(spec) }
+
+// Bus exposes the engine's fan-out bus for introspection (consumer
+// names, queue depths).
+func (e *Engine) Bus() *Bus { return e.bus }
+
+// Epoch returns the number of windows published so far; the most recent
+// completed window carries this epoch.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// Close drains the consumer bus and stops its goroutines. The engine
+// must not be flushed or ingested into afterwards. Idempotent.
+func (e *Engine) Close() { e.bus.Close() }
 
 // addPartial queues one shard's view of a completed window for merging.
 // Called by shard windowers with that shard's lock held.
@@ -204,12 +248,14 @@ func (e *Engine) addPartial(g *graph.Graph) {
 }
 
 // onWindow collapses and stores a completed, fully merged window, then
-// hands it to the OnWindow hook. The hook runs after e.mu is released so a
-// hook may call the engine's read APIs (Windows, Latest, Monitor) without
-// deadlocking on the non-reentrant mutex; window order is still serial
-// because every caller holds e.closeMu. traces carries the sampled-record
-// contexts that folded into the window; it is attached after the collapse
-// so downstream consumers see it on the graph they actually receive.
+// publishes it on the consumer bus under the next epoch. Publishing never
+// blocks (see Bus); consumers run on their own goroutines with no engine
+// lock held, so a consumer may call the engine's read APIs (Windows,
+// Latest, Monitor) without deadlocking on the non-reentrant mutex. Epochs
+// stay in window order because every caller holds e.closeMu. traces
+// carries the sampled-record contexts that folded into the window; it is
+// attached after the collapse so downstream consumers see it on the graph
+// they actually receive.
 func (e *Engine) onWindow(g *graph.Graph, traces []trace.Context) {
 	if e.cfg.Collapse.Threshold > 0 || e.cfg.Collapse.Keep != nil {
 		g = g.Collapse(e.cfg.Collapse)
@@ -225,11 +271,8 @@ func (e *Engine) onWindow(g *graph.Graph, traces []trace.Context) {
 	e.tracer.Eventf(trace.Context{}, "core", slog.LevelDebug,
 		"window %s completed: %d nodes, %d edges, %d sampled traces",
 		g.Start.UTC().Format(time.RFC3339), g.NumNodes(), g.NumEdges(), len(traces))
-	if e.cfg.OnWindow != nil {
-		sp := telemetry.StartSpan(e.tel.hook)
-		e.cfg.OnWindow(g)
-		sp.End()
-	}
+	epoch := e.epoch.Add(1)
+	e.bus.publish(epoch, g)
 }
 
 // Ingest adds a batch of records. Records are routed to shards by flow
@@ -455,13 +498,17 @@ func (e *Engine) CollectTraced(recs []flowlog.Record, tcs []trace.Context) error
 // tracing is off), so servers fronting the engine can continue its traces.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
-// Flush closes open windows across all shards and returns all completed
-// window graphs.
+// Flush closes open windows across all shards, waits for every bus
+// consumer to process all published windows, and returns all completed
+// window graphs. The drain means that when Flush returns, the store, the
+// timeline, and every analysis have observed the full stream — which is
+// what makes online results comparable to batch ones.
 func (e *Engine) Flush() []*graph.Graph {
 	e.closeMu.Lock()
-	//lint:allow lockscope closeMu keeps OnWindow ordered; see advance
+	//lint:allow lockscope closeMu keeps window publication ordered; see advance
 	e.closeShards(time.Time{}, true)
 	e.closeMu.Unlock()
+	e.bus.Drain()
 	return e.Windows()
 }
 

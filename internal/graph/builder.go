@@ -94,15 +94,15 @@ func (b *Builder) Add(rec flowlog.Record) {
 	// Orient the record's counters along the canonical key direction.
 	local := netip.AddrPortFrom(rec.LocalIP, rec.LocalPort)
 	if local == key.A {
-		obs.fwdPkts = max64(obs.fwdPkts, rec.PacketsSent)
-		obs.fwdBytes = max64(obs.fwdBytes, rec.BytesSent)
-		obs.revPkts = max64(obs.revPkts, rec.PacketsRcvd)
-		obs.revBytes = max64(obs.revBytes, rec.BytesRcvd)
+		obs.fwdPkts = max(obs.fwdPkts, rec.PacketsSent)
+		obs.fwdBytes = max(obs.fwdBytes, rec.BytesSent)
+		obs.revPkts = max(obs.revPkts, rec.PacketsRcvd)
+		obs.revBytes = max(obs.revBytes, rec.BytesRcvd)
 	} else {
-		obs.fwdPkts = max64(obs.fwdPkts, rec.PacketsRcvd)
-		obs.fwdBytes = max64(obs.fwdBytes, rec.BytesRcvd)
-		obs.revPkts = max64(obs.revPkts, rec.PacketsSent)
-		obs.revBytes = max64(obs.revBytes, rec.BytesSent)
+		obs.fwdPkts = max(obs.fwdPkts, rec.PacketsRcvd)
+		obs.fwdBytes = max(obs.fwdBytes, rec.BytesRcvd)
+		obs.revPkts = max(obs.revPkts, rec.PacketsSent)
+		obs.revBytes = max(obs.revBytes, rec.BytesSent)
 	}
 }
 
@@ -191,11 +191,4 @@ func Build(recs []flowlog.Record, opts BuilderOptions) *Graph {
 		b.Add(r)
 	}
 	return b.Finish()
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -198,7 +198,7 @@ func (p ProportionalityPolicy) Evaluate(base, next *graph.Graph) []PairGrowth {
 
 	growth := make(map[SegPair]float64, len(pairs))
 	for pr := range pairs {
-		growth[pr] = float64(newBytes[pr]) / float64(max64(1, baseBytes[pr]))
+		growth[pr] = float64(newBytes[pr]) / float64(max(1, baseBytes[pr]))
 	}
 	// Group pairs per segment so each pair can be judged against the
 	// typical growth of its segments' *other* conversations: a flash
@@ -223,7 +223,7 @@ func (p ProportionalityPolicy) Evaluate(base, next *graph.Graph) []PairGrowth {
 		for _, s := range [2]int{pr.A, pr.B} {
 			for _, q := range perSeg[s] {
 				if q != pr {
-					w := float64(max64(baseBytes[q], newBytes[q]))
+					w := float64(max(baseBytes[q], newBytes[q]))
 					others = append(others, wg{g: growth[q], w: w})
 					totalW += w
 				}
@@ -279,18 +279,4 @@ func (p ProportionalityPolicy) segPairBytes(g *graph.Graph) map[SegPair]uint64 {
 		}
 	}
 	return out
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

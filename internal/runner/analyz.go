@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"cloudgraph/internal/telemetry"
+)
+
+// analyzIndex is the /analyz overview: which analyses are online and what
+// epoch range each retains.
+type analyzIndex struct {
+	Analyses []analyzEntry `json:"analyses"`
+	// TimelineOldest/Newest are the timeline's addressable epoch range.
+	TimelineOldest uint64 `json:"timeline_oldest"`
+	TimelineNewest uint64 `json:"timeline_newest"`
+}
+
+type analyzEntry struct {
+	Name   string `json:"name"`
+	Oldest uint64 `json:"oldest"`
+	Newest uint64 `json:"newest"`
+}
+
+// AnalyzHandler serves the plane over the ops endpoint: GET /analyz lists
+// the online analyses and their retained epoch ranges; ?analysis=<name>
+// returns that analysis's latest result; &epoch=<n> pins a specific
+// epoch. GET/HEAD only, like every ops view.
+func (p *Plane) AnalyzHandler() http.Handler {
+	return telemetry.GetOnly(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		name := req.URL.Query().Get("analysis")
+		if name == "" {
+			idx := analyzIndex{}
+			idx.TimelineOldest, idx.TimelineNewest = p.tl.Epochs()
+			for _, n := range p.Runners() {
+				e := analyzEntry{Name: n}
+				e.Oldest, e.Newest = p.Epochs(n)
+				idx.Analyses = append(idx.Analyses, e)
+			}
+			if err := json.NewEncoder(w).Encode(idx); err != nil {
+				return
+			}
+			return
+		}
+		var epoch uint64
+		if v := req.URL.Query().Get("epoch"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil || n == 0 {
+				http.Error(w, "epoch must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			epoch = n
+		}
+		at, res, err := p.Query(name, epoch)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		out := struct {
+			Analysis string          `json:"analysis"`
+			Epoch    uint64          `json:"epoch"`
+			Result   json.RawMessage `json:"result"`
+		}{Analysis: name, Epoch: at, Result: res}
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			return
+		}
+	}))
+}

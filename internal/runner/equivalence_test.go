@@ -1,0 +1,218 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/core"
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/segment"
+	"cloudgraph/internal/summarize"
+	"cloudgraph/internal/trace"
+)
+
+var t0 = time.Unix(1700000000, 0).UTC().Truncate(time.Hour)
+
+// seededStream replays the determinism-test cluster: a seeded
+// microservice bench with a port scan injected mid-hour.
+func seededStream(t *testing.T) []flowlog.Record {
+	t.Helper()
+	c, err := cluster.New(cluster.MicroserviceBench(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddAttack(cluster.PortScan{
+		AttackerRole: "frontend",
+		TargetRole:   "redis",
+		PortsPerMin:  40,
+		Start:        t0.Add(10 * time.Minute),
+		Duration:     10 * time.Minute,
+	})
+	recs, err := c.CollectHour(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("cluster emitted no records")
+	}
+	return recs
+}
+
+// runOnline pushes the stream through a sharded engine with the plane's
+// consumers on the fan-out bus — the cloudgraphd path.
+func runOnline(t *testing.T, recs []flowlog.Record, window time.Duration, tr *trace.Tracer) *Plane {
+	t.Helper()
+	p := New(Config{Trace: tr})
+	e := core.NewEngine(core.Config{
+		Window:    window,
+		Shards:    4,
+		Consumers: p.Consumers(),
+		Trace:     tr,
+	})
+	defer e.Close()
+	const batch = 512
+	for i := 0; i < len(recs); i += batch {
+		end := min(i+batch, len(recs))
+		if tr != nil {
+			// Out-of-band contexts, like a traced collection fabric: the
+			// analyses must not see any difference.
+			tcs := make([]trace.Context, end-i)
+			for j := range tcs {
+				tcs[j] = tr.Sample()
+			}
+			e.IngestTraced(recs[i:end], tcs)
+		} else {
+			e.Ingest(recs[i:end])
+		}
+	}
+	e.Flush()
+	p.Seal()
+	return p
+}
+
+// runBatch drives the same runners through Plane.Replay — the
+// cmd/experiments path.
+func runBatch(recs []flowlog.Record, window time.Duration, tr *trace.Tracer) *Plane {
+	p := New(Config{Trace: tr})
+	p.Replay(recs, ReplayOptions{Window: window})
+	return p
+}
+
+// comparePlanes asserts both planes retain byte-identical results for
+// every analysis at every epoch.
+func comparePlanes(t *testing.T, label string, a, b *Plane, epochs uint64) {
+	t.Helper()
+	for _, name := range a.Runners() {
+		_, newest := a.Epochs(name)
+		if newest != epochs {
+			t.Fatalf("%s: analysis %q reached epoch %d, want %d", label, name, newest, epochs)
+		}
+		for ep := uint64(1); ep <= epochs; ep++ {
+			_, ra, err := a.Query(name, ep)
+			if err != nil {
+				t.Fatalf("%s: %s@%d (first plane): %v", label, name, ep, err)
+			}
+			_, rb, err := b.Query(name, ep)
+			if err != nil {
+				t.Fatalf("%s: %s@%d (second plane): %v", label, name, ep, err)
+			}
+			if string(ra) != string(rb) {
+				t.Errorf("%s: %s@%d diverges:\n  a: %s\n  b: %s", label, name, ep, ra, rb)
+			}
+		}
+	}
+}
+
+// TestOnlineBatchEquivalence pins the plane's central promise: the online
+// runners — behind a 4-shard engine and the concurrent consumer bus —
+// produce byte-identical per-epoch results to the batch Replay path over
+// the same seeded stream, and turning tracing on changes nothing.
+func TestOnlineBatchEquivalence(t *testing.T) {
+	recs := seededStream(t)
+	const window = 5 * time.Minute
+
+	online := runOnline(t, recs, window, nil)
+	batch := runBatch(recs, window, nil)
+	_, epochs := online.Epochs("segment")
+	if epochs < 10 {
+		t.Fatalf("stream produced %d epochs; equivalence needs a real sequence", epochs)
+	}
+	comparePlanes(t, "online-vs-batch", online, batch, epochs)
+
+	// The timeline views must agree too: same window count, same sealed
+	// roll-ups.
+	so, sb := online.Timeline().Latest(), batch.Timeline().Latest()
+	if so.Epoch != sb.Epoch || len(so.Windows) != len(sb.Windows) || len(so.Rollups) != len(sb.Rollups) {
+		t.Fatalf("timelines diverge: online epoch %d (%d win, %d roll), batch epoch %d (%d win, %d roll)",
+			so.Epoch, len(so.Windows), len(so.Rollups), sb.Epoch, len(sb.Windows), len(sb.Rollups))
+	}
+
+	// Tracing on must not perturb any result byte. Sample 1-in-101 so the
+	// recorder retains whole journeys instead of churning its trace cap.
+	tr := trace.New(trace.Options{SampleEvery: 101, Seed: 7, MaxTraces: 1 << 16})
+	traced := runOnline(t, recs, window, tr)
+	comparePlanes(t, "traced-vs-untraced", traced, batch, epochs)
+
+	// And the traced run must actually have recorded analysis spans — the
+	// journey now extends past the store into the plane.
+	found := false
+	for _, id := range tr.Recorder().TraceIDs() {
+		for _, sp := range tr.Recorder().Trace(id) {
+			if sp.Stage == "analysis.segment" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no analysis.segment span recorded with tracing on")
+	}
+}
+
+// TestSummarizeRunnerMatchesBatchScorer proves the incremental anomaly
+// recurrence equals summarize.ScoreWindows over the full prefix — the
+// online score is not an approximation.
+func TestSummarizeRunnerMatchesBatchScorer(t *testing.T) {
+	recs := seededStream(t)
+	p := New(Config{Runners: []Runner{NewSummarize(summarize.AnomalyOptions{})}})
+	windows := p.Replay(recs, ReplayOptions{Window: time.Minute})
+	if len(windows) < 20 {
+		t.Fatalf("only %d windows", len(windows))
+	}
+	batch := summarize.ScoreWindows(windows, summarize.AnomalyOptions{})
+	drifted := false
+	for i := range windows {
+		_, raw, err := p.Query("summarize", uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res SummarizeResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != batch[i] {
+			t.Fatalf("window %d: online score %+v != batch %+v", i, res.Score, batch[i])
+		}
+		if res.Score.Drift > 0 {
+			drifted = true
+		}
+	}
+	if !drifted {
+		t.Fatal("no window recorded any drift; the scorer saw nothing")
+	}
+}
+
+// TestPolicyChurnRunnerBaseline sanity-checks the policy runner's shape:
+// first window is the baseline, later windows price moves.
+func TestPolicyChurnRunnerBaseline(t *testing.T) {
+	recs := seededStream(t)
+	p := New(Config{Runners: []Runner{NewPolicyChurn(segment.StrategyJaccardLouvain, segment.Options{})}})
+	p.Replay(recs, ReplayOptions{Window: 15 * time.Minute})
+	_, raw, err := p.Query("policy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first PolicyChurnResult
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Baseline || first.Segments < 2 {
+		t.Fatalf("first window = %+v, want a baseline with >=2 segments", first)
+	}
+	_, raw, err = p.Query("policy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last PolicyChurnResult
+	if err := json.Unmarshal(raw, &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Baseline {
+		t.Fatalf("latest window still flagged baseline: %+v", last)
+	}
+	if last.Moved > 0 && last.IPRuleUpdates <= last.TagUpdates {
+		t.Fatalf("moves priced but per-IP cost (%d) not above tag cost (%d)",
+			last.IPRuleUpdates, last.TagUpdates)
+	}
+}

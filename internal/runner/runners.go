@@ -1,0 +1,381 @@
+package runner
+
+import (
+	"math"
+	"sort"
+
+	"cloudgraph/internal/counterfactual"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/policy"
+	"cloudgraph/internal/segment"
+	"cloudgraph/internal/summarize"
+)
+
+// DefaultRunners returns the paper's §2 analyses with default tuning —
+// what cloudgraphd puts online when -live is set.
+func DefaultRunners() []Runner {
+	return []Runner{
+		NewSegment(segment.StrategyJaccardLouvain, segment.Options{}),
+		NewSummarize(summarize.AnomalyOptions{}),
+		NewCounterfactual(0, 0.8, 10),
+		NewPolicyChurn(segment.StrategyJaccardLouvain, segment.Options{}),
+	}
+}
+
+// ---- segment ----
+
+// SegmentResult is the auto micro-segmentation of one window.
+//
+//wire:schema
+type SegmentResult struct {
+	Epoch       uint64     `json:"epoch"`
+	NumSegments int        `json:"num_segments"`
+	Segments    [][]string `json:"segments"`
+	Error       string     `json:"error,omitempty"`
+}
+
+// SegmentRunner re-segments each window with the configured strategy.
+type SegmentRunner struct {
+	strategy segment.Strategy
+	opts     segment.Options
+	last     SegmentResult
+}
+
+// NewSegment returns the "segment" runner.
+func NewSegment(s segment.Strategy, opts segment.Options) *SegmentRunner {
+	return &SegmentRunner{strategy: s, opts: opts}
+}
+
+func (r *SegmentRunner) Name() string { return "segment" }
+
+func (r *SegmentRunner) OnSnapshot(epoch uint64, g *graph.Graph) {
+	r.last = SegmentResult{Epoch: epoch}
+	assign, err := segment.Run(r.strategy, g, r.opts)
+	if err != nil {
+		r.last.Error = err.Error()
+		return
+	}
+	r.last.NumSegments = assign.NumSegments()
+	r.last.Segments = segmentNames(assign)
+}
+
+func (r *SegmentRunner) Result() any { return r.last }
+
+// segmentNames renders an assignment as sorted member-name lists, the
+// stable wire form (graph.Node maps cannot marshal as JSON keys).
+func segmentNames(assign segment.Assignment) [][]string {
+	segs := assign.Segments()
+	out := make([][]string, 0, len(segs))
+	for _, seg := range segs {
+		if len(seg) == 0 {
+			continue
+		}
+		names := make([]string, len(seg))
+		for i, n := range seg {
+			names[i] = n.String()
+		}
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ---- summarize ----
+
+// SummarizeResult is the succinct summary plus anomaly score of one
+// window.
+//
+//wire:schema
+type SummarizeResult struct {
+	Epoch    uint64 `json:"epoch"`
+	Headline string `json:"headline"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Hubs     int    `json:"hubs"`
+	Cliques  int    `json:"cliques"`
+	// FractionFor90 is the CCDF headline: the smallest fraction of nodes
+	// carrying 90% of the bytes.
+	FractionFor90 float64 `json:"fraction_for_90"`
+	// Score is the hour-over-hour drift assessment, computed
+	// incrementally with exactly the batch semantics of
+	// summarize.ScoreWindows.
+	Score summarize.WindowScore `json:"score"`
+}
+
+// SummarizeRunner computes per-window summaries and maintains the
+// incremental anomaly baseline: drift vs the previous window, flagged
+// when it exceeds mean + Sigma·stddev of the non-anomalous history —
+// bit-for-bit the summarize.ScoreWindows recurrence, so the online score
+// of window i equals the batch score over windows [0..i].
+type SummarizeRunner struct {
+	opts    summarize.AnomalyOptions
+	prev    *graph.Graph
+	history []float64
+	index   int
+	last    SummarizeResult
+}
+
+// NewSummarize returns the "summarize" runner.
+func NewSummarize(opts summarize.AnomalyOptions) *SummarizeRunner {
+	if opts.Sigma <= 0 {
+		opts.Sigma = 3
+	}
+	if opts.MinHistory <= 0 {
+		opts.MinHistory = 3
+	}
+	return &SummarizeRunner{opts: opts}
+}
+
+func (r *SummarizeRunner) Name() string { return "summarize" }
+
+func (r *SummarizeRunner) OnSnapshot(epoch uint64, g *graph.Graph) {
+	s := summarize.Summarize(g)
+	res := SummarizeResult{
+		Epoch:         epoch,
+		Headline:      s.Headline,
+		Nodes:         s.Stats.Nodes,
+		Edges:         s.Stats.Edges,
+		Hubs:          len(s.Hubs),
+		Cliques:       len(s.Cliques),
+		FractionFor90: summarize.FractionForShare(s.CCDF, 0.9),
+	}
+	score := summarize.WindowScore{Index: r.index}
+	if r.prev != nil {
+		d := graph.Diff(r.prev, g)
+		score.Drift = d.ByteChange
+		score.NewPairs = len(d.AddedPairs)
+		score.LostPairs = len(d.RemovedPairs)
+		if len(r.history) >= r.opts.MinHistory {
+			mean, sd := meanStd(r.history)
+			if score.Drift > mean+r.opts.Sigma*sd {
+				score.Anomalous = true
+			}
+		}
+		if !score.Anomalous {
+			// Matching ScoreWindows: only normal windows feed the
+			// baseline, so a sustained attack doesn't poison its own
+			// detector.
+			r.history = append(r.history, score.Drift)
+		}
+	}
+	res.Score = score
+	r.prev = g
+	r.index++
+	r.last = res
+}
+
+func (r *SummarizeRunner) Result() any { return r.last }
+
+// meanStd mirrors summarize's baseline statistics, including the 1e-3
+// stddev floor that keeps perfectly steady baselines from zero-slack
+// flagging.
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	if sd < 1e-3 {
+		sd = 1e-3
+	}
+	return mean, sd
+}
+
+// ---- counterfactual ----
+
+// CounterfactualResult is the capacity plan for one window.
+//
+//wire:schema
+type CounterfactualResult struct {
+	Epoch uint64 `json:"epoch"`
+	// Upgrades lists nodes above the utilization threshold, worst first.
+	Upgrades []NodeLoadJSON `json:"upgrades"`
+	// Proximity lists the heaviest-exchanging pairs — co-location
+	// candidates — best first.
+	Proximity []PairJSON `json:"proximity"`
+}
+
+// NodeLoadJSON is counterfactual.NodeLoad in wire form.
+//
+//wire:schema
+type NodeLoadJSON struct {
+	Node        string  `json:"node"`
+	BytesPerMin float64 `json:"bytes_per_min"`
+	Utilization float64 `json:"utilization"`
+}
+
+// PairJSON is a graph.UndirectedEdge in wire form.
+//
+//wire:schema
+type PairJSON struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Bytes uint64 `json:"bytes"`
+}
+
+// CounterfactualRunner plans capacity per window via
+// counterfactual.PlanCapacity.
+type CounterfactualRunner struct {
+	capacityPerMin float64
+	utilThreshold  float64
+	topPairs       int
+	last           CounterfactualResult
+}
+
+// NewCounterfactual returns the "counterfactual" runner. capacityPerMin 0
+// ranks by raw load; utilThreshold gates upgrade recommendations;
+// topPairs bounds the proximity list.
+func NewCounterfactual(capacityPerMin, utilThreshold float64, topPairs int) *CounterfactualRunner {
+	return &CounterfactualRunner{
+		capacityPerMin: capacityPerMin,
+		utilThreshold:  utilThreshold,
+		topPairs:       topPairs,
+	}
+}
+
+func (r *CounterfactualRunner) Name() string { return "counterfactual" }
+
+func (r *CounterfactualRunner) OnSnapshot(epoch uint64, g *graph.Graph) {
+	plan := counterfactual.PlanCapacity(g, r.capacityPerMin, r.utilThreshold, r.topPairs)
+	res := CounterfactualResult{Epoch: epoch}
+	for _, u := range plan.Upgrades {
+		res.Upgrades = append(res.Upgrades, NodeLoadJSON{
+			Node: u.Node.String(), BytesPerMin: u.BytesPerMin, Utilization: u.Utilization,
+		})
+	}
+	for _, e := range plan.Proximity {
+		res.Proximity = append(res.Proximity, PairJSON{
+			A: e.A.String(), B: e.B.String(), Bytes: e.Bytes,
+		})
+	}
+	r.last = res
+}
+
+func (r *CounterfactualRunner) Result() any { return r.last }
+
+// ---- policy churn ----
+
+// PolicyChurnResult quantifies segment churn of one window against the
+// baseline learned from the first window.
+//
+//wire:schema
+type PolicyChurnResult struct {
+	Epoch uint64 `json:"epoch"`
+	// Baseline is true on the first window, which establishes the
+	// segmentation and reachability policy all later windows compare to.
+	Baseline bool `json:"baseline"`
+	// Segments is the segment count (of the baseline when Baseline, of
+	// the re-segmented current window otherwise).
+	Segments int `json:"segments"`
+	// Moved counts nodes whose segment changed vs the baseline.
+	Moved int `json:"moved"`
+	// NewNodes counts nodes absent from the baseline assignment.
+	NewNodes int `json:"new_nodes"`
+	// IPRuleUpdates / TagUpdates sum the per-move update costs under
+	// per-IP vs tag compilation (policy.ChurnOnMove) — the §2.1 churn
+	// comparison, online.
+	IPRuleUpdates int `json:"ip_rule_updates"`
+	TagUpdates    int `json:"tag_updates"`
+	// Error reports a segmentation failure.
+	Error string `json:"error,omitempty"`
+}
+
+// PolicyChurnRunner learns a baseline policy from the first window and,
+// for each later window, re-segments it, aligns the new segments to the
+// baseline by maximum member overlap, and prices every node move under
+// both rule compilations.
+type PolicyChurnRunner struct {
+	strategy segment.Strategy
+	opts     segment.Options
+	assign   segment.Assignment
+	reach    *policy.Reachability
+	last     PolicyChurnResult
+}
+
+// NewPolicyChurn returns the "policy" runner.
+func NewPolicyChurn(s segment.Strategy, opts segment.Options) *PolicyChurnRunner {
+	return &PolicyChurnRunner{strategy: s, opts: opts}
+}
+
+func (r *PolicyChurnRunner) Name() string { return "policy" }
+
+func (r *PolicyChurnRunner) OnSnapshot(epoch uint64, g *graph.Graph) {
+	res := PolicyChurnResult{Epoch: epoch}
+	assign, err := segment.Run(r.strategy, g, r.opts)
+	if err != nil {
+		res.Error = err.Error()
+		r.last = res
+		return
+	}
+	if r.reach == nil {
+		r.assign = assign
+		r.reach = policy.Learn(g, assign)
+		res.Baseline = true
+		res.Segments = assign.NumSegments()
+		r.last = res
+		return
+	}
+	res.Segments = assign.NumSegments()
+	mapped := alignSegments(assign, r.assign)
+	// Deterministic iteration: price moves in node order.
+	nodes := make([]graph.Node, 0, len(assign))
+	for n := range assign {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Less(nodes[j]) })
+	for _, n := range nodes {
+		base, known := r.assign[n]
+		if !known {
+			res.NewNodes++
+			continue
+		}
+		to, ok := mapped[assign[n]]
+		if !ok || to == base {
+			continue
+		}
+		res.Moved++
+		rep := r.reach.ChurnOnMove(n, to)
+		res.IPRuleUpdates += rep.IPRuleUpdates
+		res.TagUpdates += rep.TagUpdates
+	}
+	r.last = res
+}
+
+func (r *PolicyChurnRunner) Result() any { return r.last }
+
+// alignSegments maps each segment id of the new assignment to the
+// baseline segment its members overlap most (ties to the smaller
+// baseline id, for determinism). New segments with no baseline overlap
+// are unmapped.
+func alignSegments(now, base segment.Assignment) map[int]int {
+	overlap := make(map[int]map[int]int) // new seg -> base seg -> count
+	for n, s := range now {
+		b, ok := base[n]
+		if !ok {
+			continue
+		}
+		if overlap[s] == nil {
+			overlap[s] = make(map[int]int)
+		}
+		overlap[s][b]++
+	}
+	out := make(map[int]int, len(overlap))
+	for s, counts := range overlap {
+		best, bestN := -1, 0
+		ids := make([]int, 0, len(counts))
+		for b := range counts {
+			ids = append(ids, b)
+		}
+		sort.Ints(ids)
+		for _, b := range ids {
+			if counts[b] > bestN {
+				best, bestN = b, counts[b]
+			}
+		}
+		out[s] = best
+	}
+	return out
+}

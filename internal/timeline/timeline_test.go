@@ -1,0 +1,171 @@
+package timeline
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+	"cloudgraph/internal/telemetry"
+)
+
+var t0 = time.Unix(1700000000, 0).UTC().Truncate(time.Hour)
+
+// win builds a one-record window graph starting at the given offset.
+func win(offset time.Duration, bytes uint64) *graph.Graph {
+	g := graph.New(graph.FacetIP)
+	g.AddEdge(graph.IPNode(netip.MustParseAddr("10.0.0.1")),
+		graph.IPNode(netip.MustParseAddr("10.0.0.2")),
+		graph.Counters{Bytes: bytes, Packets: 1, Conns: 1})
+	g.Start = t0.Add(offset)
+	g.End = g.Start.Add(time.Minute)
+	return g
+}
+
+func TestTimelineSnapshotsAndRetention(t *testing.T) {
+	tl := New(Config{Retention: 3, History: 3, Rollup: time.Hour})
+	var snaps []*Snapshot
+	for i := 0; i < 5; i++ {
+		snaps = append(snaps, tl.Append(uint64(i+1), win(time.Duration(i)*time.Minute, 100)))
+	}
+	// Copy-on-write: the first snapshot still sees exactly one window even
+	// though the timeline has advanced past it.
+	if got := len(snaps[0].Windows); got != 1 {
+		t.Fatalf("snapshot 1 sees %d windows after later appends, want 1", got)
+	}
+	if snaps[0].Epoch != 1 || snaps[0].Window != snaps[0].Windows[0] {
+		t.Fatal("snapshot 1 lost its identity")
+	}
+	// Retention: the latest view holds only the newest 3 windows.
+	latest := tl.Latest()
+	if latest.Epoch != 5 || len(latest.Windows) != 3 {
+		t.Fatalf("latest = epoch %d with %d windows, want epoch 5 with 3", latest.Epoch, len(latest.Windows))
+	}
+	// History: epochs 1 and 2 evicted, 3..5 addressable.
+	if tl.At(1) != nil || tl.At(2) != nil {
+		t.Fatal("evicted epochs still addressable")
+	}
+	for ep := uint64(3); ep <= 5; ep++ {
+		s := tl.At(ep)
+		if s == nil || s.Epoch != ep {
+			t.Fatalf("At(%d) = %v", ep, s)
+		}
+	}
+	if oldest, newest := tl.Epochs(); oldest != 3 || newest != 5 {
+		t.Fatalf("Epochs() = %d..%d, want 3..5", oldest, newest)
+	}
+	if tl.At(99) != nil {
+		t.Fatal("unknown epoch resolved")
+	}
+}
+
+func TestTimelineRollupSealing(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tl := New(Config{Rollup: time.Hour, Telemetry: reg})
+	// Two windows in hour 0, one in hour 1: appending the hour-1 window
+	// must seal hour 0.
+	tl.Append(1, win(0, 100))
+	s := tl.Append(2, win(10*time.Minute, 50))
+	if len(s.Rollups) != 0 {
+		t.Fatalf("in-progress bucket leaked into snapshot: %d rollups", len(s.Rollups))
+	}
+	s = tl.Append(3, win(time.Hour, 70))
+	if len(s.Rollups) != 1 {
+		t.Fatalf("rollups after bucket advance = %d, want 1", len(s.Rollups))
+	}
+	r := s.Rollups[0]
+	if !r.Start.Equal(t0) || !r.End.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("sealed rollup spans %s..%s, want the hour bucket", r.Start, r.End)
+	}
+	if tc := r.TotalTraffic(); tc.Bytes != 150 {
+		t.Fatalf("sealed rollup bytes = %d, want 150 (merged members)", tc.Bytes)
+	}
+	// Seal flushes the final partial bucket without minting a new epoch.
+	tl.Seal()
+	latest := tl.Latest()
+	if latest.Epoch != 3 || len(latest.Rollups) != 2 {
+		t.Fatalf("after Seal: epoch %d, %d rollups, want epoch 3 with 2", latest.Epoch, len(latest.Rollups))
+	}
+	if tl.At(3) != latest {
+		t.Fatal("Seal must re-issue the latest epoch's snapshot in history")
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cloudgraph_timeline_rollups_sealed_total 2",
+		"cloudgraph_timeline_rollups_held 2",
+		"cloudgraph_timeline_snapshots_held 3",
+		"cloudgraph_timeline_rollup_seal_seconds",
+		"cloudgraph_timeline_bytes_retained",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("telemetry missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// diffEmpty reports whether d records no structural or traffic change.
+func diffEmpty(d graph.Delta) bool {
+	return len(d.AddedNodes) == 0 && len(d.RemovedNodes) == 0 &&
+		len(d.AddedPairs) == 0 && len(d.RemovedPairs) == 0 && d.ByteChange == 0
+}
+
+// TestRollupEqualsDirectBuild is the roll-up correctness property: merging
+// the minute-window graphs of a seeded cluster replay yields exactly the
+// graph built directly over the same records. Roll-ups are therefore
+// lossless re-aggregations, not approximations.
+func TestRollupEqualsDirectBuild(t *testing.T) {
+	c, err := cluster.New(cluster.MicroserviceBench(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.CollectHour(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("cluster emitted no records")
+	}
+
+	// Minute windows, built the same way the engine builds them.
+	byMinute := make(map[int64][]flowlog.Record)
+	for _, r := range recs {
+		byMinute[r.Time.Truncate(time.Minute).UnixNano()] = append(
+			byMinute[r.Time.Truncate(time.Minute).UnixNano()], r)
+	}
+	keys := make([]int64, 0, len(byMinute))
+	for k := range byMinute {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) < 2 {
+		t.Fatalf("replay spans %d minute windows; property needs several", len(keys))
+	}
+
+	tl := New(Config{Rollup: time.Hour, Retention: -1})
+	for i, k := range keys {
+		g := graph.Build(byMinute[k], graph.BuilderOptions{})
+		g.Start = time.Unix(0, k).UTC()
+		g.End = g.Start.Add(time.Minute)
+		tl.Append(uint64(i+1), g)
+	}
+	tl.Seal()
+	snap := tl.Latest()
+	if len(snap.Rollups) != 1 {
+		t.Fatalf("hour of minutes sealed into %d rollups, want 1", len(snap.Rollups))
+	}
+	direct := graph.Build(recs, graph.BuilderOptions{})
+	if d := graph.Diff(direct, snap.Rollups[0]); !diffEmpty(d) {
+		t.Fatalf("rollup != direct build: +%d/-%d nodes, +%d/-%d pairs, drift %g",
+			len(d.AddedNodes), len(d.RemovedNodes), len(d.AddedPairs), len(d.RemovedPairs), d.ByteChange)
+	}
+	if d := graph.Diff(snap.Rollups[0], direct); !diffEmpty(d) {
+		t.Fatal("rollup != direct build in reverse direction")
+	}
+}
