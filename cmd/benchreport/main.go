@@ -1,0 +1,194 @@
+// Command benchreport measures the ingest hot path and the graph memory
+// layout in-process and emits one BENCH_<date>.json — the perf trajectory
+// record ROADMAP item 3 asks for. CI runs it as the bench artifact step;
+// the repo checks in one baseline per PR that moves the numbers.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport                 # print JSON to stdout
+//	go run ./cmd/benchreport -o BENCH_$(date +%F).json
+//
+// The measurements are deliberately self-contained (no `go test -bench`
+// parsing): a synthetic 100K-node hypersparse subscription for bytes/edge,
+// and a wire-encoded replay of a seeded cluster hour for records/sec/core
+// and allocs/record, so two runs on the same machine are comparable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/cluster"
+	"cloudgraph/internal/core"
+	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/graph"
+)
+
+// Report is the BENCH_<date>.json schema. Bytes-per-edge figures count
+// directed edges; the ratio is the map-form cost over the frozen CSR cost
+// on the same graph, measured with runtime.MemStats around a double GC.
+type Report struct {
+	Date             string  `json:"date"`
+	GoVersion        string  `json:"go_version"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Records          int     `json:"records"`
+	RecordsPerSec    float64 `json:"records_per_sec"`
+	RecordsPerSecPer float64 `json:"records_per_sec_per_core"`
+	AllocsPerRecord  float64 `json:"allocs_per_record_decode"`
+	GraphNodes       int     `json:"graph_nodes"`
+	GraphEdges       int     `json:"graph_directed_edges"`
+	MapBytesPerEdge  float64 `json:"map_bytes_per_edge"`
+	CSRBytesPerEdge  float64 `json:"csr_bytes_per_edge"`
+	BytesPerEdgeGain float64 `json:"bytes_per_edge_gain"`
+}
+
+func heapAlloc() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// synthSubscription mirrors the graph package's 100K-node benchmark shape:
+// every node talks to a few hub services plus occasional random peers.
+func synthSubscription(n int) *graph.Graph {
+	g := graph.New(graph.FacetIP)
+	rng := rand.New(rand.NewSource(42))
+	addr := func(i int) graph.Node {
+		return graph.IPNode(netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}))
+	}
+	const hubs = 64
+	for i := hubs; i < n; i++ {
+		g.AddEdge(addr(i), addr(i%hubs), graph.Counters{Bytes: uint64(i), Packets: 2, Conns: 1})
+		if rng.Intn(4) == 0 {
+			g.AddEdge(addr(i), addr(hubs+rng.Intn(n-hubs)), graph.Counters{Bytes: 100, Packets: 1, Conns: 1})
+		}
+	}
+	return g
+}
+
+func measureBytesPerEdge(r *Report) error {
+	base := heapAlloc()
+	g := synthSubscription(100_000)
+	mapBytes := float64(heapAlloc() - base)
+	r.GraphNodes = g.NumNodes()
+	r.GraphEdges = g.NumDirectedEdges()
+	g.Freeze()
+	csrBytes := float64(heapAlloc() - base)
+	runtime.KeepAlive(g)
+	if mapBytes <= 0 || csrBytes <= 0 || r.GraphEdges == 0 {
+		return fmt.Errorf("heap measurement unusable: map=%f csr=%f", mapBytes, csrBytes)
+	}
+	edges := float64(r.GraphEdges)
+	r.MapBytesPerEdge = mapBytes / edges
+	r.CSRBytesPerEdge = csrBytes / edges
+	r.BytesPerEdgeGain = mapBytes / csrBytes
+	return nil
+}
+
+func measureIngest(r *Report) error {
+	spec, err := cluster.Preset("k8spaas", 0.25)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.New(spec)
+	if err != nil {
+		return err
+	}
+	recs, err := c.CollectHour(time.Unix(1700000000, 0).UTC().Truncate(time.Hour))
+	if err != nil {
+		return err
+	}
+	var wire []byte
+	for _, rec := range recs {
+		wire = flowlog.AppendBinary(wire, rec)
+	}
+	r.Records = len(recs)
+
+	// Decode allocs: steady-state batch decode must be allocation-free;
+	// report the measured per-record figure rather than asserting, so a
+	// regression is visible in the checked-in trajectory (the test gate in
+	// internal/flowlog fails the build outright).
+	src := bytes.NewReader(wire)
+	rd := flowlog.NewReader(src)
+	buf := make([]flowlog.Record, 4096)
+	perStream := testing.AllocsPerRun(5, func() {
+		src.Reset(wire)
+		rd.Reset(src)
+		for {
+			if _, err := rd.ReadBatch(buf); err != nil {
+				break
+			}
+		}
+	})
+	r.AllocsPerRecord = perStream / float64(len(recs))
+
+	// Throughput: the full decode+ingest path, single goroutine, enough
+	// passes to dominate engine startup.
+	e := core.NewEngine(core.Config{Window: time.Hour, Shards: 4})
+	const passes = 3
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		src.Reset(wire)
+		rd.Reset(src)
+		for {
+			n, err := rd.ReadBatch(buf)
+			if n > 0 {
+				e.Ingest(buf[:n])
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if len(e.Flush()) == 0 {
+		return fmt.Errorf("no windows completed")
+	}
+	r.RecordsPerSec = float64(passes*len(recs)) / elapsed.Seconds()
+	// Single-goroutine ingest uses one core; per-core is the same figure,
+	// kept as its own field so a future parallel driver can diverge.
+	r.RecordsPerSecPer = r.RecordsPerSec
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+	r := &Report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if err := measureBytesPerEdge(r); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if err := measureIngest(r); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}

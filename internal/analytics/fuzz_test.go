@@ -48,7 +48,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, count uint8, data []byte) {
 		n := int(count % 17)
 		r := bytes.NewReader(data)
-		batch, err := readBatch(r, n)
+		batch, err := readBatch(r, n, new(connScratch))
 		consumed := len(data) - r.Len()
 		want := n * flowlog.WireSize
 		if len(data) >= want {
@@ -142,7 +142,7 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, count uint8, data []byte) {
 		n := int(count % 17)
 		r := bytes.NewReader(data)
-		batch, tcs, err := readBatchFlagged(r, n)
+		batch, tcs, err := readBatchFlagged(r, n, new(connScratch))
 		consumed := len(data) - r.Len()
 		if size, ok := scanFlaggedFrames(data, n); ok {
 			if consumed != size {
@@ -168,7 +168,7 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 		for i := range batch {
 			enc = appendFlaggedFrame(enc, batch[i], tcs[i])
 		}
-		batch2, tcs2, err := readBatchFlagged(bytes.NewReader(enc), n)
+		batch2, tcs2, err := readBatchFlagged(bytes.NewReader(enc), n, new(connScratch))
 		if err != nil {
 			t.Fatalf("n=%d: canonical re-decode failed: %v", n, err)
 		}

@@ -214,6 +214,7 @@ type textResponse string
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 256<<10)
 	w := bufio.NewWriter(conn)
+	sc := new(connScratch)
 	for {
 		// The read deadline is absolute, so it also bounds the binary
 		// batch an INGEST command goes on to read: a peer that stalls
@@ -239,7 +240,7 @@ func (s *Server) handle(conn net.Conn) {
 		case "QUIT":
 			out = textResponse("OK bye")
 		case "INGEST":
-			out, cmdErr = s.cmdIngest(fields, r)
+			out, cmdErr = s.cmdIngest(fields, r, sc)
 		case "FLUSH":
 			n := len(s.engine.Flush())
 			if s.plane != nil {
@@ -311,9 +312,30 @@ func writeResponse(w *bufio.Writer, out any, cmdErr error) error {
 	return writeJSON(w, out)
 }
 
+// connScratch holds one connection's reused INGEST buffers. The engine
+// borrows a batch only for the duration of the Ingest call (see
+// core.Engine.Ingest), so each command may overwrite the previous one's
+// records in place — the whole decode path allocates nothing per batch in
+// the steady state.
+type connScratch struct {
+	batch []flowlog.Record
+	tcs   []trace.Context
+}
+
+// nextSlot extends batch by one reusable slot, growing the backing array
+// only when capacity runs out (first batches, or a count above any seen
+// before on this connection).
+func nextSlot(batch []flowlog.Record) []flowlog.Record {
+	if len(batch) < cap(batch) {
+		return batch[:len(batch)+1]
+	}
+	return append(batch, flowlog.Record{})
+}
+
 // cmdIngest reads n binary frames — bare legacy frames, or flagged frames
 // when the command carries the T marker — and feeds them to the engine.
-func (s *Server) cmdIngest(fields []string, r *bufio.Reader) (any, error) {
+// The returned batch lives in sc and is overwritten by the next INGEST.
+func (s *Server) cmdIngest(fields []string, r *bufio.Reader, sc *connScratch) (any, error) {
 	traced := false
 	switch {
 	case len(fields) == 2:
@@ -332,7 +354,7 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader) (any, error) {
 		if tr != nil {
 			start = time.Now()
 		}
-		batch, err := readBatch(r, n)
+		batch, err := readBatch(r, n, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +384,7 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader) (any, error) {
 		return textResponse(fmt.Sprintf("OK %d", n)), nil
 	}
 	start := time.Now()
-	batch, tcs, err := readBatchFlagged(r, n)
+	batch, tcs, err := readBatchFlagged(r, n, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -382,25 +404,28 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader) (any, error) {
 	return textResponse(fmt.Sprintf("OK %d", n)), nil
 }
 
-// readBatch reads a declared batch of n binary flowlog frames. Its protocol
-// invariant: once the INGEST header promised n frames, exactly n*WireSize
-// bytes are consumed from r even when a frame fails to decode — leaving
-// unread frames in the stream would desync the protocol, parsing leftover
-// binary bytes as commands. Only a short read (fewer bytes than promised)
-// may leave the stream mid-batch, and that already ends the connection.
-func readBatch(r io.Reader, n int) ([]flowlog.Record, error) {
-	pre := n
-	if pre > 4096 {
-		pre = 4096 // don't let a huge declared count pre-allocate unboundedly
+// readBatch reads a declared batch of n binary flowlog frames into sc's
+// reused buffer. Its protocol invariant: once the INGEST header promised n
+// frames, exactly n*WireSize bytes are consumed from r even when a frame
+// fails to decode — leaving unread frames in the stream would desync the
+// protocol, parsing leftover binary bytes as commands. Only a short read
+// (fewer bytes than promised) may leave the stream mid-batch, and that
+// already ends the connection.
+func readBatch(r io.Reader, n int, sc *connScratch) ([]flowlog.Record, error) {
+	if sc.batch == nil {
+		pre := min(n, 4096) // don't let a huge declared count pre-allocate unboundedly
+		sc.batch = make([]flowlog.Record, 0, pre)
 	}
-	batch := make([]flowlog.Record, 0, pre)
+	batch := sc.batch[:0]
 	var buf [flowlog.WireSize]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			sc.batch = batch
 			return nil, fmt.Errorf("short ingest stream at record %d", i)
 		}
-		rec, err := flowlog.DecodeBinary(buf[:])
-		if err != nil {
+		batch = nextSlot(batch)
+		if err := flowlog.DecodeBinaryInto(&batch[len(batch)-1], buf[:]); err != nil {
+			sc.batch = batch[:len(batch)-1]
 			// Consume the rest of the declared batch before reporting.
 			for j := i + 1; j < n; j++ {
 				if _, derr := io.ReadFull(r, buf[:]); derr != nil {
@@ -409,8 +434,8 @@ func readBatch(r io.Reader, n int) ([]flowlog.Record, error) {
 			}
 			return nil, fmt.Errorf("record %d: %v", i, err)
 		}
-		batch = append(batch, rec)
 	}
+	sc.batch = batch
 	return batch, nil
 }
 

@@ -58,28 +58,30 @@ func appendFlaggedFrame(buf []byte, rec flowlog.Record, tc trace.Context) []byte
 	return flowlog.AppendBinary(buf, rec)
 }
 
-// readBatchFlagged reads a declared batch of n flagged frames, returning
-// the records and their parallel trace contexts (zero Context on plain
-// frames). It keeps readBatch's drain invariant for every recoverable
-// error: once a frame's flag byte fixes its length, the remaining frames
-// of the batch are consumed even when a record fails to decode, so the
-// stream stays command-aligned. Only short reads and unknown flag bytes
-// (errDesync) leave the stream mid-batch, and both end the connection.
-func readBatchFlagged(r io.Reader, n int) ([]flowlog.Record, []trace.Context, error) {
-	pre := n
-	if pre > 4096 {
-		pre = 4096 // don't let a huge declared count pre-allocate unboundedly
+// readBatchFlagged reads a declared batch of n flagged frames into sc's
+// reused buffers, returning the records and their parallel trace contexts
+// (zero Context on plain frames). It keeps readBatch's drain invariant for
+// every recoverable error: once a frame's flag byte fixes its length, the
+// remaining frames of the batch are consumed even when a record fails to
+// decode, so the stream stays command-aligned. Only short reads and unknown
+// flag bytes (errDesync) leave the stream mid-batch, and both end the
+// connection.
+func readBatchFlagged(r io.Reader, n int, sc *connScratch) ([]flowlog.Record, []trace.Context, error) {
+	if sc.batch == nil {
+		pre := min(n, 4096) // don't let a huge declared count pre-allocate unboundedly
+		sc.batch = make([]flowlog.Record, 0, pre)
 	}
-	batch := make([]flowlog.Record, 0, pre)
-	tcs := make([]trace.Context, 0, pre)
+	batch, tcs := sc.batch[:0], sc.tcs[:0]
 	var buf [flowlog.WireSize + traceFieldSize]byte
 	var decodeErr error
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(r, buf[:1]); err != nil {
+			sc.batch, sc.tcs = batch, tcs
 			return nil, nil, fmt.Errorf("short ingest stream at record %d", i)
 		}
 		flag := buf[0]
 		if flag != frameFlagPlain && flag != frameFlagTraced {
+			sc.batch, sc.tcs = batch, tcs
 			return nil, nil, fmt.Errorf("record %d: unknown frame flag 0x%02x: %w", i, flag, errDesync)
 		}
 		size := flowlog.WireSize
@@ -87,13 +89,15 @@ func readBatchFlagged(r io.Reader, n int) ([]flowlog.Record, []trace.Context, er
 			size += traceFieldSize
 		}
 		if _, err := io.ReadFull(r, buf[:size]); err != nil {
+			sc.batch, sc.tcs = batch, tcs
 			return nil, nil, fmt.Errorf("short ingest stream at record %d", i)
 		}
 		if decodeErr != nil {
 			continue // draining the declared batch after a bad record
 		}
-		rec, err := flowlog.DecodeBinary(buf[:flowlog.WireSize])
-		if err != nil {
+		batch = nextSlot(batch)
+		if err := flowlog.DecodeBinaryInto(&batch[len(batch)-1], buf[:flowlog.WireSize]); err != nil {
+			batch = batch[:len(batch)-1]
 			decodeErr = fmt.Errorf("record %d: %v", i, err)
 			continue
 		}
@@ -102,9 +106,9 @@ func readBatchFlagged(r io.Reader, n int) ([]flowlog.Record, []trace.Context, er
 			tc.TraceID = binary.LittleEndian.Uint64(buf[flowlog.WireSize:])
 			tc.SpanID = binary.LittleEndian.Uint64(buf[flowlog.WireSize+8:])
 		}
-		batch = append(batch, rec)
 		tcs = append(tcs, tc)
 	}
+	sc.batch, sc.tcs = batch, tcs
 	if decodeErr != nil {
 		return nil, nil, decodeErr
 	}

@@ -46,7 +46,7 @@ func TestFlaggedRoundTrip(t *testing.T) {
 		t.Fatalf("encoded %d bytes, want %d", len(buf), wantLen)
 	}
 	r := bytes.NewReader(buf)
-	gotRecs, gotTcs, err := readBatchFlagged(r, 3)
+	gotRecs, gotTcs, err := readBatchFlagged(r, 3, new(connScratch))
 	if err != nil {
 		t.Fatalf("readBatchFlagged: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestFlaggedDecodeErrorDrains(t *testing.T) {
 	buf = append(buf, next...)
 
 	r := bytes.NewReader(buf)
-	_, _, err := readBatchFlagged(r, 3)
+	_, _, err := readBatchFlagged(r, 3, new(connScratch))
 	if err == nil {
 		t.Fatal("want decode error")
 	}
@@ -106,7 +106,7 @@ func TestFlaggedBadFlagIsDesync(t *testing.T) {
 	buf := appendFlaggedFrame(nil, wireTestRecord(0), trace.Context{})
 	buf = append(buf, 0x7f) // second frame: invalid flag
 	buf = append(buf, make([]byte, flowlog.WireSize)...)
-	_, _, err := readBatchFlagged(bytes.NewReader(buf), 2)
+	_, _, err := readBatchFlagged(bytes.NewReader(buf), 2, new(connScratch))
 	if !errors.Is(err, errDesync) {
 		t.Fatalf("want errDesync, got %v", err)
 	}
@@ -123,7 +123,7 @@ func TestOldFormatHasNoTraceField(t *testing.T) {
 	for _, r := range recs {
 		legacy = flowlog.AppendBinary(legacy, r)
 	}
-	gotOld, err := readBatch(bytes.NewReader(legacy), 2)
+	gotOld, err := readBatch(bytes.NewReader(legacy), 2, new(connScratch))
 	if err != nil {
 		t.Fatalf("readBatch: %v", err)
 	}
@@ -131,7 +131,7 @@ func TestOldFormatHasNoTraceField(t *testing.T) {
 	for _, r := range recs {
 		flagged = appendFlaggedFrame(flagged, r, trace.Context{})
 	}
-	gotNew, tcs, err := readBatchFlagged(bytes.NewReader(flagged), 2)
+	gotNew, tcs, err := readBatchFlagged(bytes.NewReader(flagged), 2, new(connScratch))
 	if err != nil {
 		t.Fatalf("readBatchFlagged: %v", err)
 	}

@@ -261,6 +261,11 @@ func (e *Engine) onWindow(g *graph.Graph, traces []trace.Context) {
 		g = g.Collapse(e.cfg.Collapse)
 	}
 	g.Traces = traces
+	// A completed window is never mutated again (the bus and timeline
+	// contract), so drop it to the CSR form before anyone retains it: the
+	// builder maps are released here, and every consumer holds the compact
+	// representation.
+	g.Freeze()
 	e.mu.Lock()
 	e.windows = append(e.windows, g)
 	if e.cfg.MaxWindows > 0 && len(e.windows) > e.cfg.MaxWindows {
@@ -278,7 +283,23 @@ func (e *Engine) onWindow(g *graph.Graph, traces []trace.Context) {
 // Ingest adds a batch of records. Records are routed to shards by flow
 // key (the ingest.ShardOf scheme), so both reports of an
 // intra-subscription flow deduplicate in the same shard.
+//
+// Ingest borrows recs only for the duration of the call: shards scan the
+// batch in place and copy what they keep, so the caller may reuse the
+// backing array for the next batch as soon as Ingest returns. This is what
+// lets servers decode the wire into one per-connection buffer with no
+// per-batch allocation.
 func (e *Engine) Ingest(recs []flowlog.Record) { e.IngestTraced(recs, nil) }
+
+// shardScratch is the pooled per-batch scratch of the sharded ingest path:
+// the per-record shard ids and per-shard counts that would otherwise be two
+// heap allocations per batch.
+type shardScratch struct {
+	ids    []uint8
+	counts []int
+}
+
+var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
 
 // IngestTraced is Ingest with out-of-band trace contexts: tcs is nil or
 // parallel to recs, with the zero Context on unsampled records. Each
@@ -306,9 +327,18 @@ func (e *Engine) IngestTraced(recs []flowlog.Record, tcs []trace.Context) {
 		e.recordShardSpans(recs, tcs, nil, traceStart)
 	} else {
 		// One byte of shard id per record instead of per-shard record
-		// copies: each shard then scans the shared batch in place.
-		ids := make([]uint8, len(recs))
-		counts := make([]int, n)
+		// copies: each shard then scans the shared batch in place. The id
+		// and count slices come from a pool — the steady state allocates
+		// nothing per batch.
+		sc := shardScratchPool.Get().(*shardScratch)
+		if cap(sc.ids) < len(recs) {
+			sc.ids = make([]uint8, len(recs))
+		}
+		if cap(sc.counts) < n {
+			sc.counts = make([]int, n)
+		}
+		ids, counts := sc.ids[:len(recs)], sc.counts[:n]
+		clear(counts)
 		for i := range recs {
 			s := ingest.ShardOf(recs[i].Key(), n)
 			ids[i] = uint8(s)
@@ -324,6 +354,7 @@ func (e *Engine) IngestTraced(recs []flowlog.Record, tcs []trace.Context) {
 			e.tel.shardRecords[i].Add(int64(counts[i]))
 		}
 		e.recordShardSpans(recs, tcs, ids, traceStart)
+		shardScratchPool.Put(sc)
 	}
 	e.advance(maxStart)
 }

@@ -46,13 +46,27 @@ func AppendBinary(dst []byte, r Record) []byte {
 // if b is shorter than WireSize or the frame does not hold a plausible
 // record: a real connection summary always names two specific endpoints,
 // so an unspecified (all-zero) address means the frame is garbage — e.g. a
-// stream that lost alignment.
-//
-//wire:codec Record
+// stream that lost alignment. Field coverage lives in DecodeBinaryInto,
+// which this wraps.
 func DecodeBinary(b []byte) (Record, error) {
 	var r Record
+	err := DecodeBinaryInto(&r, b)
+	return r, err
+}
+
+// DecodeBinaryInto decodes one fixed-size frame from b into *r, the
+// allocation-free form of DecodeBinary the batch paths use: the caller owns
+// r (typically one slot of a reused batch buffer) and may recycle it for the
+// next frame. Every field of r is overwritten — nothing decoded earlier can
+// alias through, because a Record holds only value types (netip.Addr,
+// time.Time, integers). On error r is zeroed so a half-decoded frame can
+// never leak into a reused buffer.
+//
+//wire:codec Record
+func DecodeBinaryInto(r *Record, b []byte) error {
 	if len(b) < WireSize {
-		return r, fmt.Errorf("%w: short frame: %d bytes", ErrBadRecord, len(b))
+		*r = Record{}
+		return fmt.Errorf("%w: short frame: %d bytes", ErrBadRecord, len(b))
 	}
 	r.Time = unixTime(int64(binary.LittleEndian.Uint64(b[0:])))
 	r.LocalIP = addrFrom16(b[8:24])
@@ -64,9 +78,10 @@ func DecodeBinary(b []byte) (Record, error) {
 	r.BytesSent = binary.LittleEndian.Uint64(b[60:])
 	r.BytesRcvd = binary.LittleEndian.Uint64(b[68:])
 	if r.LocalIP.IsUnspecified() || r.RemoteIP.IsUnspecified() {
-		return Record{}, fmt.Errorf("%w: unspecified address", ErrBadRecord)
+		*r = Record{}
+		return fmt.Errorf("%w: unspecified address", ErrBadRecord)
 	}
-	return r, nil
+	return nil
 }
 
 // Writer streams records in the binary wire format onto an io.Writer,
@@ -120,3 +135,30 @@ func (r *Reader) Read() (Record, error) {
 	}
 	return DecodeBinary(r.buf[:])
 }
+
+// ReadBatch decodes up to len(dst) records into the caller-owned dst and
+// returns how many slots it filled. It allocates nothing: frames decode in
+// place into dst's slots via DecodeBinaryInto, so the caller reuses one
+// batch buffer across calls (records from earlier calls must not be
+// retained across reuse; copy any that are). A clean end of stream before
+// the first frame returns (n, io.EOF) with n possibly positive; a truncated
+// frame returns io.ErrUnexpectedEOF; a garbage frame returns ErrBadRecord
+// with the preceding good records counted in n.
+func (r *Reader) ReadBatch(dst []Record) (int, error) {
+	for n := range dst {
+		if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+			if err == io.EOF {
+				return n, io.EOF
+			}
+			return n, io.ErrUnexpectedEOF
+		}
+		if err := DecodeBinaryInto(&dst[n], r.buf[:]); err != nil {
+			return n, err
+		}
+	}
+	return len(dst), nil
+}
+
+// Reset redirects the Reader to a new stream, reusing its buffer — the
+// per-connection pooling hook for servers.
+func (r *Reader) Reset(rd io.Reader) { r.r.Reset(rd) }

@@ -96,13 +96,13 @@ func (g *Graph) ComputeStats() Stats {
 	t := g.TotalTraffic()
 	s.Bytes, s.Packets, s.Conns = t.Bytes, t.Packets, t.Conns
 	var sum int
-	for n := range g.nodes {
+	g.EachNode(func(n Node) {
 		d := g.Degree(n)
 		sum += d
 		if d > s.MaxDeg {
 			s.MaxDeg = d
 		}
-	}
+	})
 	if s.Nodes > 0 {
 		s.MeanDeg = float64(sum) / float64(s.Nodes)
 	}

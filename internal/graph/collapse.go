@@ -25,10 +25,10 @@ func (g *Graph) Collapse(opts CollapseOptions) *Graph {
 		opts.Threshold = DefaultCollapseThreshold
 	}
 	total := g.TotalTraffic()
-	keep := make(map[Node]bool, len(g.nodes))
-	for n := range g.nodes {
+	keep := make(map[Node]bool, g.NumNodes())
+	g.EachNode(func(n Node) {
 		keep[n] = g.significant(n, total, opts)
-	}
+	})
 	out := New(g.Facet)
 	out.Start, out.End = g.Start, g.End
 	for n, k := range keep {
@@ -42,18 +42,15 @@ func (g *Graph) Collapse(opts CollapseOptions) *Graph {
 		}
 		return Collapsed
 	}
-	for src, m := range g.out {
-		ms := mapNode(src)
-		for dst, e := range m {
-			md := mapNode(dst)
-			if ms == md {
-				// Traffic entirely inside the collapse bucket (or a
-				// self-loop) disappears, like the paper's aggregate node.
-				continue
-			}
-			out.addDirected(ms, md, e.Counters)
+	g.EachOut(func(src, dst Node, e *Edge) {
+		ms, md := mapNode(src), mapNode(dst)
+		if ms == md {
+			// Traffic entirely inside the collapse bucket (or a
+			// self-loop) disappears, like the paper's aggregate node.
+			return
 		}
-	}
+		out.addDirected(ms, md, e.Counters)
+	})
 	return out
 }
 

@@ -17,16 +17,16 @@ type Delta struct {
 // Diff computes the delta from old to new.
 func Diff(old, new *Graph) Delta {
 	var d Delta
-	for n := range new.nodes {
-		if _, ok := old.nodes[n]; !ok {
+	new.EachNode(func(n Node) {
+		if !old.HasNode(n) {
 			d.AddedNodes = append(d.AddedNodes, n)
 		}
-	}
-	for n := range old.nodes {
-		if _, ok := new.nodes[n]; !ok {
+	})
+	old.EachNode(func(n Node) {
+		if !new.HasNode(n) {
 			d.RemovedNodes = append(d.RemovedNodes, n)
 		}
-	}
+	})
 	sort.Slice(d.AddedNodes, func(i, j int) bool { return d.AddedNodes[i].Less(d.AddedNodes[j]) })
 	sort.Slice(d.RemovedNodes, func(i, j int) bool { return d.RemovedNodes[i].Less(d.RemovedNodes[j]) })
 

@@ -51,6 +51,11 @@ type Edge struct {
 // Graph is a communication graph over one time window. Edges are stored
 // directed (out[src][dst] carries what src sent to dst); undirected views
 // are derived. The zero value is not usable; call New.
+//
+// A Graph has two representations behind one API: the mutable map-backed
+// form used while the window is open, and the immutable hypersparse CSR
+// form (see Freeze) used once it seals. Every read accessor works on both;
+// mutation on a frozen graph thaws it first.
 type Graph struct {
 	Facet Facet
 	Start time.Time
@@ -64,7 +69,8 @@ type Graph struct {
 	out    map[Node]map[Node]*Edge
 	in     map[Node]map[Node]*Edge
 	nodes  map[Node]struct{}
-	edges  int // number of unordered connected pairs
+	edges  int     // number of unordered connected pairs
+	fz     *frozen // non-nil iff the graph is in CSR form (maps are nil)
 }
 
 // New returns an empty graph with the given facet.
@@ -80,6 +86,7 @@ func New(f Facet) *Graph {
 // addDirected accumulates counters onto the directed edge src->dst, creating
 // nodes and the edge as needed, and returns the edge.
 func (g *Graph) addDirected(src, dst Node, c Counters) *Edge {
+	g.thawForWrite()
 	g.nodes[src] = struct{}{}
 	g.nodes[dst] = struct{}{}
 	m := g.out[src]
@@ -112,23 +119,64 @@ func (g *Graph) addDirected(src, dst Node, c Counters) *Edge {
 func (g *Graph) AddEdge(src, dst Node, c Counters) { g.addDirected(src, dst, c) }
 
 // AddNode ensures n exists even if isolated.
-func (g *Graph) AddNode(n Node) { g.nodes[n] = struct{}{} }
+func (g *Graph) AddNode(n Node) {
+	g.thawForWrite()
+	g.nodes[n] = struct{}{}
+}
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int {
+	if g.fz != nil {
+		return len(g.fz.nodes)
+	}
+	return len(g.nodes)
+}
 
 // NumEdges returns the number of unordered communicating pairs, the quantity
 // Table 1 reports.
 func (g *Graph) NumEdges() int { return g.edges }
 
+// NumDirectedEdges returns the number of directed edges.
+func (g *Graph) NumDirectedEdges() int {
+	if g.fz != nil {
+		return len(g.fz.edges)
+	}
+	var m int
+	for _, row := range g.out {
+		m += len(row)
+	}
+	return m
+}
+
 // HasNode reports whether n is in the graph.
 func (g *Graph) HasNode(n Node) bool {
+	if g.fz != nil {
+		_, ok := g.fz.nodeID(n)
+		return ok
+	}
 	_, ok := g.nodes[n]
 	return ok
 }
 
+// EachNode calls fn for every node. Iteration order is unspecified; use
+// Nodes when determinism matters.
+func (g *Graph) EachNode(fn func(Node)) {
+	if g.fz != nil {
+		for _, n := range g.fz.nodes {
+			fn(n)
+		}
+		return
+	}
+	for n := range g.nodes {
+		fn(n)
+	}
+}
+
 // Nodes returns all nodes in deterministic order.
 func (g *Graph) Nodes() []Node {
+	if g.fz != nil {
+		return append([]Node(nil), g.fz.nodes...)
+	}
 	ns := make([]Node, 0, len(g.nodes))
 	for n := range g.nodes {
 		ns = append(ns, n)
@@ -139,6 +187,9 @@ func (g *Graph) Nodes() []Node {
 
 // OutEdge returns the directed edge src->dst, or nil.
 func (g *Graph) OutEdge(src, dst Node) *Edge {
+	if g.fz != nil {
+		return g.fz.outEdge(src, dst)
+	}
 	if m := g.out[src]; m != nil {
 		return m[dst]
 	}
@@ -161,6 +212,20 @@ func (g *Graph) PairCounters(a, b Node) Counters {
 // direction. The returned map is freshly allocated.
 func (g *Graph) Neighbors(n Node) map[Node]struct{} {
 	set := make(map[Node]struct{})
+	if g.fz != nil {
+		fz := g.fz
+		i, ok := fz.nodeID(n)
+		if !ok {
+			return set
+		}
+		for _, j := range fz.cols[fz.rowOff[i]:fz.rowOff[i+1]] {
+			set[fz.nodes[j]] = struct{}{}
+		}
+		for _, j := range fz.inSrc[fz.inOff[i]:fz.inOff[i+1]] {
+			set[fz.nodes[j]] = struct{}{}
+		}
+		return set
+	}
 	for dst := range g.out[n] {
 		set[dst] = struct{}{}
 	}
@@ -171,12 +236,35 @@ func (g *Graph) Neighbors(n Node) map[Node]struct{} {
 }
 
 // Degree returns the undirected degree of n.
-func (g *Graph) Degree(n Node) int { return len(g.Neighbors(n)) }
+func (g *Graph) Degree(n Node) int {
+	if g.fz != nil {
+		i, ok := g.fz.nodeID(n)
+		if !ok {
+			return 0
+		}
+		return g.fz.degree(i)
+	}
+	return len(g.Neighbors(n))
+}
 
 // NodeStrength returns the total traffic n exchanges (sent + received) under
 // metric m — its row+column sum in the adjacency matrix.
 func (g *Graph) NodeStrength(n Node, m Metric) uint64 {
 	var total uint64
+	if g.fz != nil {
+		fz := g.fz
+		i, ok := fz.nodeID(n)
+		if !ok {
+			return 0
+		}
+		for k := fz.rowOff[i]; k < fz.rowOff[i+1]; k++ {
+			total += fz.edges[k].Get(m)
+		}
+		for _, k := range fz.inEdge[fz.inOff[i]:fz.inOff[i+1]] {
+			total += fz.edges[k].Get(m)
+		}
+		return total
+	}
 	for _, e := range g.out[n] {
 		total += e.Get(m)
 	}
@@ -189,6 +277,12 @@ func (g *Graph) NodeStrength(n Node, m Metric) uint64 {
 // TotalTraffic returns the summed edge counters over the whole graph.
 func (g *Graph) TotalTraffic() Counters {
 	var total Counters
+	if g.fz != nil {
+		for i := range g.fz.edges {
+			total.Add(g.fz.edges[i].Counters)
+		}
+		return total
+	}
 	for _, m := range g.out {
 		for _, e := range m {
 			total.Add(e.Counters)
@@ -207,23 +301,44 @@ type UndirectedEdge struct {
 // deterministic order.
 func (g *Graph) UndirectedEdges() []UndirectedEdge {
 	edges := make([]UndirectedEdge, 0, g.edges)
-	for src, m := range g.out {
-		for dst, e := range m {
-			// Emit each unordered pair once: from the lesser node, or
-			// from src when the reverse edge doesn't exist.
-			if dst.Less(src) {
-				if rm := g.out[dst]; rm != nil && rm[src] != nil {
+	if g.fz != nil {
+		fz := g.fz
+		for i := range fz.nodes {
+			for k := fz.rowOff[i]; k < fz.rowOff[i+1]; k++ {
+				j := fz.cols[k]
+				rev := fz.outIdx(j, int32(i))
+				if j < int32(i) && rev >= 0 {
 					continue // reverse edge will emit it
 				}
+				ue := UndirectedEdge{A: fz.nodes[i], B: fz.nodes[j], Counters: fz.edges[k].Counters}
+				if rev >= 0 {
+					ue.Counters.Add(fz.edges[rev].Counters)
+				}
+				if j < int32(i) {
+					ue.A, ue.B = ue.B, ue.A
+				}
+				edges = append(edges, ue)
 			}
-			ue := UndirectedEdge{A: src, B: dst, Counters: e.Counters}
-			if rev := g.OutEdge(dst, src); rev != nil {
-				ue.Counters.Add(rev.Counters)
+		}
+	} else {
+		for src, m := range g.out {
+			for dst, e := range m {
+				// Emit each unordered pair once: from the lesser node, or
+				// from src when the reverse edge doesn't exist.
+				if dst.Less(src) {
+					if rm := g.out[dst]; rm != nil && rm[src] != nil {
+						continue // reverse edge will emit it
+					}
+				}
+				ue := UndirectedEdge{A: src, B: dst, Counters: e.Counters}
+				if rev := g.OutEdge(dst, src); rev != nil {
+					ue.Counters.Add(rev.Counters)
+				}
+				if dst.Less(src) {
+					ue.A, ue.B = ue.B, ue.A
+				}
+				edges = append(edges, ue)
 			}
-			if dst.Less(src) {
-				ue.A, ue.B = ue.B, ue.A
-			}
-			edges = append(edges, ue)
 		}
 	}
 	sort.Slice(edges, func(i, j int) bool {
@@ -235,9 +350,19 @@ func (g *Graph) UndirectedEdges() []UndirectedEdge {
 	return edges
 }
 
-// EachOut calls fn for every directed edge. Iteration order is unspecified;
-// use Nodes/UndirectedEdges when determinism matters.
+// EachOut calls fn for every directed edge. Iteration order is unspecified
+// on the map form and deterministic on the frozen form; use
+// Nodes/UndirectedEdges when determinism matters.
 func (g *Graph) EachOut(fn func(src, dst Node, e *Edge)) {
+	if g.fz != nil {
+		fz := g.fz
+		for i := range fz.nodes {
+			for k := fz.rowOff[i]; k < fz.rowOff[i+1]; k++ {
+				fn(fz.nodes[i], fz.nodes[fz.cols[k]], &fz.edges[k])
+			}
+		}
+		return
+	}
 	for src, m := range g.out {
 		for dst, e := range m {
 			fn(src, dst, e)
@@ -245,34 +370,46 @@ func (g *Graph) EachOut(fn func(src, dst Node, e *Edge)) {
 	}
 }
 
-// Subgraph returns the induced subgraph over keep, sharing edge pointers
-// with g (it is a view for analysis, not an independent copy).
+// Subgraph returns the induced subgraph over keep (a fresh map-backed
+// graph; edge counters are copied, it is a view for analysis).
 func (g *Graph) Subgraph(keep map[Node]bool) *Graph {
 	sub := New(g.Facet)
 	sub.Start, sub.End = g.Start, g.End
-	for n := range g.nodes {
+	g.EachNode(func(n Node) {
 		if keep[n] {
 			sub.AddNode(n)
 		}
-	}
-	for src, m := range g.out {
-		if !keep[src] {
-			continue
+	})
+	g.EachOut(func(src, dst Node, e *Edge) {
+		if keep[src] && keep[dst] {
+			sub.addDirected(src, dst, e.Counters)
 		}
-		for dst, e := range m {
-			if keep[dst] {
-				sub.addDirected(src, dst, e.Counters)
-			}
-		}
-	}
+	})
 	return sub
 }
 
 // Density returns edges / possible undirected pairs.
 func (g *Graph) Density() float64 {
-	n := len(g.nodes)
+	n := g.NumNodes()
 	if n < 2 {
 		return 0
 	}
 	return float64(g.edges) / (float64(n) * float64(n-1) / 2)
+}
+
+// MemBytes returns the approximate heap footprint of the graph's edge
+// structure. For the frozen form it is an exact accounting of the CSR
+// arrays; for the map form it is the conventional per-entry estimate the
+// timeline's bytes-retained gauge has always used. Edge series backing
+// arrays are excluded (both forms share them).
+func (g *Graph) MemBytes() int64 {
+	if g.fz != nil {
+		return g.fz.memBytes()
+	}
+	// Map form: every node costs a set entry plus its inner-map headers;
+	// every directed edge costs an out entry, an in entry and the Edge
+	// allocation. Entry costs include average bucket overhead.
+	const nodeCost = 160 // nodes set + out/in inner map headers
+	const dirEdgeCost = 200
+	return int64(len(g.nodes))*nodeCost + int64(g.NumDirectedEdges())*dirEdgeCost
 }

@@ -1,22 +1,17 @@
 package graph
 
-import "sort"
-
 // Merge folds other's nodes, edges and series into g. Counters accumulate;
-// series are concatenated and re-sorted by interval start. Both graphs must
-// share a facet; the window expands to cover both. Merge is how parallel
-// partial aggregations (internal/ingest) combine into one graph.
+// series samples covering the same interval start are summed, the rest are
+// interleaved in start order. Both graphs must share a facet; the window
+// expands to cover both. Merge is how parallel partial aggregations
+// (internal/ingest, the engine's cross-shard fold) combine into one graph.
+// Either side may be frozen: g thaws on first mutation, other is only read.
 func (g *Graph) Merge(other *Graph) {
-	for n := range other.nodes {
-		g.AddNode(n)
-	}
+	other.EachNode(g.AddNode)
 	other.EachOut(func(src, dst Node, e *Edge) {
 		me := g.addDirected(src, dst, e.Counters)
 		if len(e.Series) > 0 {
-			me.Series = append(me.Series, e.Series...)
-			sort.Slice(me.Series, func(i, j int) bool {
-				return me.Series[i].Start.Before(me.Series[j].Start)
-			})
+			me.Series = mergeSamples(me.Series, e.Series)
 		}
 	})
 	if g.Start.IsZero() || (!other.Start.IsZero() && other.Start.Before(g.Start)) {
@@ -25,4 +20,38 @@ func (g *Graph) Merge(other *Graph) {
 	if other.End.After(g.End) {
 		g.End = other.End
 	}
+}
+
+// mergeSamples merges two per-edge series sorted by interval start into one.
+// Samples whose Start buckets collide are summed, not duplicated: sharded
+// partials of the same window both carry the same directed edge's interval,
+// and concatenating them would double the sample count while Diff against a
+// serial build stays empty only if the buckets fold. Both inputs must be
+// sorted ascending by Start (the builder emits them that way); the result is
+// too.
+func mergeSamples(a, b []Sample) []Sample {
+	if len(a) == 0 {
+		return append([]Sample(nil), b...)
+	}
+	out := make([]Sample, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Start.Before(b[j].Start):
+			out = append(out, a[i])
+			i++
+		case b[j].Start.Before(a[i].Start):
+			out = append(out, b[j])
+			j++
+		default:
+			s := a[i]
+			s.Counters.Add(b[j].Counters)
+			out = append(out, s)
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }

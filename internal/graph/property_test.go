@@ -3,6 +3,7 @@ package graph
 import (
 	"math/rand"
 	"net/netip"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -208,6 +209,46 @@ func TestPropertyAdjacencyMatchesEdges(t *testing.T) {
 		return uint64(matSum) == g.TotalTraffic().Bytes
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMergeSumsCollidingSeries(t *testing.T) {
+	// Splitting a stream by flow key and merging KeepSeries builders must
+	// reproduce the serial build's per-edge series exactly. Partials that
+	// both carry the same directed edge in the same interval collide on
+	// Sample.Start; the merge must sum that bucket, not emit it twice —
+	// this is the window-boundary bug the sharded engine hits.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randRecords(rng)
+		sortByTime(recs)
+		whole := Build(recs, BuilderOptions{Facet: FacetIP, KeepSeries: true})
+
+		var partA, partB []flowlog.Record
+		for _, r := range recs {
+			if r.Key().A.Port()%2 == 0 {
+				partA = append(partA, r)
+			} else {
+				partB = append(partB, r)
+			}
+		}
+		merged := Build(partA, BuilderOptions{Facet: FacetIP, KeepSeries: true})
+		merged.Merge(Build(partB, BuilderOptions{Facet: FacetIP, KeepSeries: true}))
+
+		if merged.NumDirectedEdges() != whole.NumDirectedEdges() {
+			return false
+		}
+		ok := true
+		whole.EachOut(func(src, dst Node, e *Edge) {
+			me := merged.OutEdge(src, dst)
+			if me == nil || !reflect.DeepEqual(me.Series, e.Series) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sync"
 	"testing"
+	"testing/quick"
 	"time"
 
 	"cloudgraph/internal/flowlog"
@@ -271,5 +272,110 @@ func TestMeterAndCores(t *testing.T) {
 	}
 	if r.String() == "" {
 		t.Error("String empty")
+	}
+}
+
+// ssHeapInvariant checks the sketch's internal heap after a stream: the
+// min-heap property must hold, every entry's index must match its slot, and
+// the map and heap must track the same entries. The evict-and-replace path
+// rewrites heap[0] in place and Fixes it; this is the test that a future
+// refactor of that path cannot silently skip the re-fix.
+func ssHeapInvariant(s *SpaceSaving) string {
+	if len(s.heap) != len(s.entries) {
+		return "heap and entry map diverged"
+	}
+	for i, e := range s.heap {
+		if e.index != i {
+			return "stale heap index after eviction"
+		}
+		if s.entries[e.node] != e {
+			return "heap entry not in map"
+		}
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(s.heap) && s.heap[c].count < e.count {
+				return "min-heap property violated"
+			}
+		}
+	}
+	return ""
+}
+
+// TestPropertySpaceSavingAdversarial drives the sketch with eviction-heavy
+// adversarial streams and checks the Metwally guarantees against exact
+// counts: any node with true count > total/k is tracked, estimates never
+// undercount, and overestimation stays within the reported err bound
+// (count - err <= true). The streams are built to churn the evict path —
+// rotating novel keys so every insert after warm-up replaces the minimum.
+func TestPropertySpaceSavingAdversarial(t *testing.T) {
+	node := func(i int) graph.Node {
+		return graph.IPNode(netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)}))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 4 + rng.Intn(60)
+		s := NewSpaceSaving(k)
+		truth := make(map[graph.Node]uint64)
+		add := func(n graph.Node, inc uint64) {
+			s.Add(n, inc)
+			truth[n] += inc
+		}
+		streams := rng.Intn(3)
+		for i := 0; i < 20_000; i++ {
+			switch streams {
+			case 0:
+				// Rotation attack: an endless run of novel keys, each seen
+				// once, so every Add past warm-up evicts the minimum.
+				add(node(i), 1)
+				if i%7 == 0 {
+					add(node(i%3), 1) // a few persistent heavies
+				}
+			case 1:
+				// Skewed: a handful of heavies inside novel-key churn.
+				if rng.Intn(4) == 0 {
+					add(node(rng.Intn(5)), uint64(1+rng.Intn(9)))
+				} else {
+					add(node(1000+rng.Intn(10_000)), 1)
+				}
+			default:
+				// Regime change: heavies of the first half go silent, a
+				// disjoint set takes over — stale counts must be evictable.
+				base := 0
+				if i >= 10_000 {
+					base = 100_000
+				}
+				add(node(base+rng.Intn(200)), uint64(1+rng.Intn(3)))
+			}
+		}
+		if msg := ssHeapInvariant(s); msg != "" {
+			t.Error(msg)
+			return false
+		}
+		if s.Len() > k {
+			t.Errorf("sketch holds %d entries, cap %d", s.Len(), k)
+			return false
+		}
+		floor := s.Total() / uint64(k)
+		for n, true_ := range truth {
+			c, errBound, ok := s.Estimate(n)
+			if true_ > floor && !ok {
+				t.Errorf("node with true count %d > total/k=%d not tracked", true_, floor)
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if c < true_ {
+				t.Errorf("underestimate: %d < true %d", c, true_)
+				return false
+			}
+			if c-errBound > true_ {
+				t.Errorf("count-err = %d exceeds true %d: err bound broken", c-errBound, true_)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
 	}
 }

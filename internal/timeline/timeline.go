@@ -140,7 +140,7 @@ func (t *Timeline) instrument(reg *telemetry.Registry) {
 			return float64(len(t.rollups))
 		})
 	reg.GaugeFunc("cloudgraph_timeline_bytes_retained",
-		"approximate memory retained by timeline graphs (node/edge cardinality estimate)",
+		"approximate memory retained by timeline graphs (graph.MemBytes layout accounting)",
 		func() float64 {
 			t.mu.RLock()
 			defer t.mu.RUnlock()
@@ -148,14 +148,12 @@ func (t *Timeline) instrument(reg *telemetry.Registry) {
 		})
 }
 
-// approxGraphBytes estimates a graph's resident size from its cardinality:
-// nodes cost roughly one map entry each, edges two directed map entries
-// plus the counter block. An estimate is all the bytes-retained gauge
-// needs — the point is trend and relative weight, not accounting.
-func approxGraphBytes(g *graph.Graph) int64 {
-	const nodeCost, edgeCost = 64, 160
-	return int64(g.NumNodes())*nodeCost + int64(g.NumEdges())*edgeCost
-}
+// approxGraphBytes is the bytes-retained gauge's per-graph cost. Frozen
+// graphs report their exact CSR footprint; map-backed ones a cardinality
+// estimate (see graph.MemBytes). The gauge's point is trend and relative
+// weight, not accounting — and since windows arrive frozen from the engine,
+// the trend now tracks real residency.
+func approxGraphBytes(g *graph.Graph) int64 { return g.MemBytes() }
 
 // Append folds one completed window into the timeline under the given
 // epoch and returns the resulting snapshot. Windows must arrive in epoch
@@ -226,6 +224,10 @@ func (t *Timeline) sealLocked() {
 	start := time.Now()
 	sealed := t.bucket
 	t.bucket = nil
+	// The bucket accumulated in map form (Merge mutates it per member
+	// window); sealing is its last write, so drop it to the CSR form before
+	// it becomes reachable from snapshots.
+	sealed.Freeze()
 	t.rollups = append(t.rollups, sealed)
 	t.approxBytes += approxGraphBytes(sealed)
 	if t.cfg.RollupRetention > 0 && len(t.rollups) > t.cfg.RollupRetention {

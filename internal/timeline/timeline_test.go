@@ -169,3 +169,118 @@ func TestRollupEqualsDirectBuild(t *testing.T) {
 		t.Fatal("rollup != direct build in reverse direction")
 	}
 }
+
+// TestRollupOverlappingWindowsEqualsDirectBuild extends the roll-up
+// property to overlapping-interval inputs: two window graphs spanning the
+// same hour (the shape sharded ingest partials take) must merge into a
+// roll-up identical to the direct build — including per-edge time series,
+// where samples whose interval starts collide must sum rather than
+// duplicate.
+func TestRollupOverlappingWindowsEqualsDirectBuild(t *testing.T) {
+	c, err := cluster.New(cluster.MicroserviceBench(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.CollectHour(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the stream by flow key into two halves covering the same
+	// intervals — exactly how the engine shards, so both reports of a flow
+	// stay together and dedup matches the serial build.
+	var a, b []flowlog.Record
+	for _, r := range recs {
+		if r.Key().A.Port()%2 == 0 {
+			a = append(a, r)
+		} else {
+			b = append(b, r)
+		}
+	}
+	ga := graph.Build(a, graph.BuilderOptions{KeepSeries: true})
+	gb := graph.Build(b, graph.BuilderOptions{KeepSeries: true})
+
+	tl := New(Config{Rollup: time.Hour, Retention: -1})
+	tl.Append(1, ga)
+	tl.Append(2, gb)
+	tl.Seal()
+	snap := tl.Latest()
+	if len(snap.Rollups) != 1 {
+		t.Fatalf("overlapping windows sealed into %d rollups, want 1", len(snap.Rollups))
+	}
+	roll := snap.Rollups[0]
+	if !roll.Frozen() {
+		t.Fatal("sealed rollup not frozen")
+	}
+
+	direct := graph.Build(recs, graph.BuilderOptions{KeepSeries: true})
+	if d := graph.Diff(direct, roll); !diffEmpty(d) {
+		t.Fatalf("rollup != direct build: +%d/-%d nodes, +%d/-%d pairs, drift %g",
+			len(d.AddedNodes), len(d.RemovedNodes), len(d.AddedPairs), len(d.RemovedPairs), d.ByteChange)
+	}
+	if d := graph.Diff(roll, direct); !diffEmpty(d) {
+		t.Fatal("rollup != direct build in reverse direction")
+	}
+	// The series must fold, not concatenate: every directed edge of the
+	// roll-up carries exactly the direct build's samples.
+	bad := 0
+	direct.EachOut(func(src, dst graph.Node, e *graph.Edge) {
+		re := roll.OutEdge(src, dst)
+		if re == nil || len(re.Series) != len(e.Series) {
+			bad++
+			return
+		}
+		for i := range e.Series {
+			if re.Series[i] != e.Series[i] {
+				bad++
+				return
+			}
+		}
+	})
+	if bad > 0 {
+		t.Fatalf("%d edges have duplicated or drifted series after overlapping merge", bad)
+	}
+}
+
+// TestTimelineRetentionEdgeStaysQueryable pins the eviction boundary: with
+// History=N, the snapshot sitting exactly at the retention edge (the oldest
+// of the N) must stay addressable by epoch until the next append advances
+// the timeline — an off-by-one that trimmed to N-1, or trimmed before
+// publishing, would break QUERY <analysis> <oldest-epoch>.
+func TestTimelineRetentionEdgeStaysQueryable(t *testing.T) {
+	tl := New(Config{Retention: 3, History: 3, Rollup: time.Hour})
+	for i := 1; i <= 3; i++ {
+		tl.Append(uint64(i), win(time.Duration(i)*time.Minute, 100))
+	}
+	// Exactly at capacity: the oldest epoch is the retention edge and must
+	// answer queries.
+	if oldest, newest := tl.Epochs(); oldest != 1 || newest != 3 {
+		t.Fatalf("Epochs() = %d..%d, want 1..3", oldest, newest)
+	}
+	edge := tl.At(1)
+	if edge == nil || edge.Epoch != 1 || len(edge.Windows) != 1 {
+		t.Fatalf("snapshot at retention edge not queryable: %+v", edge)
+	}
+	// Seal mints no epoch, so it must not advance eviction either.
+	tl.Seal()
+	if tl.At(1) == nil {
+		t.Fatal("Seal evicted the retention-edge snapshot")
+	}
+	// The next advance shifts the edge by exactly one: epoch 1 goes, epoch
+	// 2 becomes the new edge and stays queryable.
+	tl.Append(4, win(4*time.Minute, 100))
+	if tl.At(1) != nil {
+		t.Fatal("evicted epoch still addressable after advance")
+	}
+	next := tl.At(2)
+	if next == nil || next.Epoch != 2 {
+		t.Fatalf("new retention edge lost: %+v", next)
+	}
+	if oldest, newest := tl.Epochs(); oldest != 2 || newest != 4 {
+		t.Fatalf("Epochs() after advance = %d..%d, want 2..4", oldest, newest)
+	}
+	// The edge snapshot keeps its copy-on-write view even after eviction
+	// of its predecessor.
+	if next.Window != next.Windows[len(next.Windows)-1] {
+		t.Fatal("retention-edge snapshot lost its identity")
+	}
+}
