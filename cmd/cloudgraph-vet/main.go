@@ -7,6 +7,9 @@
 //	go run ./cmd/cloudgraph-vet ./...            # whole module
 //	go run ./cmd/cloudgraph-vet ./internal/core  # one package subtree
 //	go run ./cmd/cloudgraph-vet -json ./...      # machine-readable findings
+//	go run ./cmd/cloudgraph-vet -sarif ./...     # SARIF 2.1.0 findings
+//	go run ./cmd/cloudgraph-vet -facts ./...     # dataflow facts (call graph,
+//	                                             # lock graph, borrow sites)
 //	go run ./cmd/cloudgraph-vet -dir path/to/pkg # standalone directory
 //
 // Per-line suppressions use `//lint:allow <analyzer> <justification>` on
@@ -43,6 +46,8 @@ func (s *suppressFlag) Set(v string) error {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	factsOut := flag.Bool("facts", false, "emit dataflow facts (call graph, lock graph, borrow sites) as JSON and exit")
 	dir := flag.String("dir", "", "analyze a single standalone package directory instead of the module")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	var suppress suppressFlag
@@ -82,13 +87,36 @@ func main() {
 		if err != nil {
 			fatalf("load module: %v", err)
 		}
-		pkgs = filterPackages(pkgs, root, flag.Args())
 	}
 
+	if *factsOut {
+		facts := analysis.ComputeFacts(pkgs)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(facts); err != nil {
+			fatalf("encode facts: %v", err)
+		}
+		return
+	}
+
+	// The full module always feeds the analyzers — the dataflow analyzers
+	// need the whole call graph even for a subtree query — and findings are
+	// filtered to the requested packages afterwards.
 	findings := analysis.Run(analyzers, pkgs)
+	findings = filterFindings(findings, root, flag.Args())
 	findings = applySuppressions(findings, suppress, root)
 
-	if *jsonOut {
+	if *sarifOut {
+		docs := make(map[string]string, len(analyzers))
+		for _, a := range analyzers {
+			docs[a.Name] = a.Doc
+		}
+		data, err := analysis.ToSARIF(findings, docs)
+		if err != nil {
+			fatalf("sarif: %v", err)
+		}
+		fmt.Println(string(data))
+	} else if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -110,16 +138,17 @@ func main() {
 	}
 }
 
-// filterPackages restricts the loaded set to the requested patterns:
-// "./..." (or no argument) keeps everything, "./x/..." keeps the subtree,
-// "./x" keeps the one package. All packages stay loaded for type
-// resolution; only reporting is filtered.
-func filterPackages(pkgs []*analysis.Package, root string, args []string) []*analysis.Package {
-	if len(args) == 0 {
-		return pkgs
+// filterFindings restricts reporting to the requested patterns: "./..."
+// (or no argument) keeps everything, "./x/..." keeps the subtree, "./x"
+// keeps the one package. The analyzers always see the full module (the
+// dataflow engine's call graph must be whole); only the findings are
+// filtered, by the directory the finding's file lives in.
+func filterFindings(findings []analysis.Finding, root string, args []string) []analysis.Finding {
+	if len(args) == 0 || root == "" {
+		return findings
 	}
-	keep := func(p *analysis.Package) bool {
-		rel, err := filepath.Rel(root, p.Dir)
+	keepDir := func(dir string) bool {
+		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return true
 		}
@@ -142,10 +171,20 @@ func filterPackages(pkgs []*analysis.Package, root string, args []string) []*ana
 		}
 		return false
 	}
-	var out []*analysis.Package
-	for _, p := range pkgs {
-		if keep(p) {
-			out = append(out, p)
+	all := true
+	for _, arg := range args {
+		a := strings.TrimPrefix(filepath.ToSlash(arg), "./")
+		if a != "..." && a != "." {
+			all = false
+		}
+	}
+	if all {
+		return findings
+	}
+	var out []analysis.Finding
+	for _, f := range findings {
+		if keepDir(filepath.Dir(f.File)) {
+			out = append(out, f)
 		}
 	}
 	return out

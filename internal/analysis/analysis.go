@@ -15,6 +15,21 @@
 //   - busconsumer: window consumers on the engine's fan-out bus must not
 //     re-enter the engine ingest or lifecycle path (Ingest, Flush, Close)
 //
+// On top of the per-file AST walks sits a dataflow engine (cfg.go,
+// defuse.go, index.go): per-function basic-block CFGs, reaching-definition
+// def-use chains, and a module-wide call graph with per-function summaries.
+// Three flow-sensitive analyzers run on it:
+//
+//   - borrowescape: values marked borrowed (//vet:borrowed params and
+//     results, sync.Pool.Get results) must not escape the borrowing call —
+//     no stores to heap-reachable locations, closure/goroutine captures,
+//     channel sends, undeclared returns, or uses after sync.Pool.Put
+//   - lockorder: the inter-procedural mutex acquisition graph must be
+//     acyclic, and no lock may be held across a call into the consumer
+//     bus's blocking surface (Bus.Drain, Bus.Close)
+//   - atomicmix: a field accessed through sync/atomic anywhere must be
+//     accessed through sync/atomic everywhere
+//
 // Findings can be suppressed per line with a justified inline comment:
 //
 //	//lint:allow <analyzer> <why this site is safe>
@@ -43,14 +58,21 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check over a type-checked package (Run) or over
+// the whole package set at once (RunModule). Exactly one of the two is set.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Match restricts the analyzer to packages whose import path it
-	// accepts; nil means every package.
+	// accepts; nil means every package. Module-wide analyzers always see
+	// the full set (their facts are inter-procedural) and apply Match to
+	// the package a finding lands in.
 	Match func(pkgPath string) bool
 	Run   func(p *Pass)
+	// RunModule, when set, marks a module-wide analyzer: it runs once per
+	// Run call with the shared dataflow index (CFGs, def-use chains, call
+	// graph) built over every loaded package.
+	RunModule func(p *ModulePass)
 }
 
 // Pass is one analyzer applied to one package.
@@ -78,13 +100,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass is one module-wide analyzer applied to the full package set.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Index is the shared dataflow index over every loaded package.
+	Index *Index
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos, which must belong to pkg's file set.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run applies the analyzers to every package, drops findings suppressed by
 // //lint:allow comments, and returns the rest ordered by file and line.
+// Per-package analyzers run once per package; module-wide analyzers run
+// once over the whole set with the shared dataflow index.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
 	var out []Finding
 	for _, pkg := range pkgs {
 		allowed := allowedLines(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
+			if a.RunModule != nil {
+				continue
+			}
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
@@ -102,6 +150,36 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
 					out = append(out, f)
 				}
 			}
+		}
+	}
+
+	var idx *Index
+	var allowedAll allowSet
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if idx == nil {
+			idx = BuildIndex(pkgs)
+			allowedAll = make(allowSet)
+			for _, pkg := range pkgs {
+				for file, lines := range allowedLines(pkg.Fset, pkg.Files) {
+					allowedAll[file] = lines
+				}
+			}
+		}
+		pass := &ModulePass{Analyzer: a, Index: idx}
+		a.RunModule(pass)
+		for _, f := range pass.findings {
+			if allowedAll.allows(f) {
+				continue
+			}
+			if a.Match != nil {
+				if pkg := idx.pkgOfFile(f.File); pkg != nil && !a.Match(pkg.Path) {
+					continue
+				}
+			}
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Atomicmix enforces all-or-nothing atomicity per field: a variable
+// accessed through sync/atomic anywhere in the module must be accessed
+// through sync/atomic everywhere. One plain load next to an atomic.AddInt64
+// is a data race the race detector only sees when the interleaving
+// happens; this check sees it in review. The telemetry registry's counters
+// and the trace flight ring's cursor are the motivating targets — both mix
+// hot atomic increments with cold readers that are easy to write plainly.
+//
+// The analyzer keys sites by the field or package-level variable object
+// (module-wide: one type-check means identities agree across packages),
+// then flags every plain access of a field that has at least one
+// old-style atomic site. Two shapes are deliberately not flagged:
+//
+//   - composite-literal keys (Thing{count: 0}) — initialization before the
+//     object is shared needs no ordering;
+//   - accesses through a base whose reaching definitions (per the def-use
+//     chains) are all fresh allocations in the same function — the
+//     constructor pattern t := &T{}; t.count = seed; return t is
+//     single-threaded by construction. A base that is address-taken,
+//     captured, or a parameter has unknown provenance and stays flagged.
+//
+// Fields of the typed atomic.Int64/Uint64/... wrappers cannot be accessed
+// plainly at all, so they need no checking — this analyzer is the guard
+// rail for the transition period whenever an old-style atomic slips back in.
+func Atomicmix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "a field accessed via sync/atomic anywhere must be accessed via sync/atomic everywhere",
+	}
+	a.RunModule = runAtomicmix
+	return a
+}
+
+// atomicSite is the first atomic access seen for a variable.
+type atomicSite struct {
+	pkg *Package
+	pos token.Pos
+}
+
+func runAtomicmix(p *ModulePass) {
+	sites := make(map[*types.Var]atomicSite)
+	// atomicOperand marks the field/var identifiers that appear inside an
+	// atomic call's address argument — those are the sanctioned accesses.
+	atomicOperand := make(map[*ast.Ident]bool)
+
+	// Pass 1: collect atomic sites (closure bodies included — an atomic op
+	// in a goroutine is exactly the interesting case).
+	for _, fi := range p.Index.FuncsInOrder() {
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicFunc(info, call) {
+				return true
+			}
+			id, v := addressedVar(info, call.Args[0])
+			if v == nil {
+				return true
+			}
+			atomicOperand[id] = true
+			if _, ok := sites[v]; !ok {
+				sites[v] = atomicSite{pkg: fi.Pkg, pos: call.Pos()}
+			}
+			return true
+		})
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	// Pass 2: flag plain accesses of those variables.
+	for _, fi := range p.Index.FuncsInOrder() {
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Literal keys are initialization, not access.
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							atomicOperand[id] = true
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				v, ok := info.Uses[n.Sel].(*types.Var)
+				if !ok || !v.IsField() {
+					return true
+				}
+				site, hit := sites[v]
+				if !hit || atomicOperand[n.Sel] {
+					return true
+				}
+				if freshBase(fi, n.X) {
+					return true
+				}
+				p.Reportf(fi.Pkg, n.Sel.Pos(),
+					"plain access of %s, which is accessed via sync/atomic at %s: use the atomic API on every access or a typed atomic",
+					exprText(n), shortPos(site))
+			case *ast.Ident:
+				v, ok := info.Uses[n].(*types.Var)
+				if !ok || v.IsField() {
+					return true
+				}
+				site, hit := sites[v]
+				if !hit || atomicOperand[n] {
+					return true
+				}
+				p.Reportf(fi.Pkg, n.Pos(),
+					"plain access of %s, which is accessed via sync/atomic at %s: use the atomic API on every access or a typed atomic",
+					n.Name, shortPos(site))
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicFunc matches package-level sync/atomic functions (LoadInt64,
+// StoreUint32, AddInt64, SwapPointer, CompareAndSwapInt64, ...). Methods on
+// the typed wrappers share names but have receivers and are excluded.
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedVar unwraps &x.f or &pkgVar and returns the accessed field or
+// package-level variable with its identifier.
+func addressedVar(info *types.Info, arg ast.Expr) (*ast.Ident, *types.Var) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	switch e := ast.Unparen(un.X).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return e.Sel, v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return e, v
+		}
+	}
+	return nil, nil
+}
+
+// freshBase reports whether base is a local variable all of whose reaching
+// definitions are fresh allocations (&T{...}, T{...}, new(T)) — the object
+// cannot have been shared with another goroutine yet.
+func freshBase(fi *FuncInfo, base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	du := fi.DefUse()
+	defs, complete := du.DefsFor(id)
+	if !complete || len(defs) == 0 {
+		return false
+	}
+	info := fi.Pkg.Info
+	for _, def := range defs {
+		if !freshDef(info, def, id) {
+			return false
+		}
+	}
+	return true
+}
+
+// freshDef reports whether def binds id to a fresh allocation.
+func freshDef(info *types.Info, def ast.Node, id *ast.Ident) bool {
+	target := info.Uses[id]
+	if target == nil {
+		target = info.Defs[id]
+	}
+	rhsFor := func(lhs []ast.Expr, rhs []ast.Expr) ast.Expr {
+		if len(lhs) != len(rhs) {
+			return nil
+		}
+		for i, l := range lhs {
+			if lid, ok := l.(*ast.Ident); ok {
+				obj := info.Defs[lid]
+				if obj == nil {
+					obj = info.Uses[lid]
+				}
+				if obj == target {
+					return rhs[i]
+				}
+			}
+		}
+		return nil
+	}
+	switch d := def.(type) {
+	case *ast.AssignStmt:
+		return freshAlloc(info, rhsFor(d.Lhs, d.Rhs))
+	case *ast.DeclStmt:
+		gd, ok := d.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				if len(vs.Values) == 0 {
+					// var t T — zero value, fresh by definition for a
+					// value-typed struct held locally.
+					return true
+				}
+				var lhs []ast.Expr
+				for _, n := range vs.Names {
+					lhs = append(lhs, n)
+				}
+				if rhs := rhsFor(lhs, vs.Values); rhs != nil {
+					return freshAlloc(info, rhs)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// freshAlloc matches &T{...}, T{...} and new(T).
+func freshAlloc(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// shortPos renders a site as base-filename:line for diagnostics.
+func shortPos(s atomicSite) string {
+	pos := s.pkg.Fset.Position(s.pos)
+	return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+}

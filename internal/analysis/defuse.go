@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// defuse.go computes reaching definitions and def-use chains for the local
+// variables of one function over its CFG. A definition is any site that
+// (re)binds a variable — parameter entry, :=, =, op=, ++/--, a range
+// clause, a type-switch binding; a use is any other read of the
+// identifier. The analysis is a textbook forward may-analysis: per-block
+// gen/kill over the variable's definition sites, union meet, iterated to a
+// fixed point, then one in-block pass resolves each use to the definitions
+// that reach it.
+//
+// Variables whose address is taken (&v) or that are captured by a closure
+// get an extra synthetic "external" definition at every point, so
+// consumers asking "which defs reach this use" stay conservative about
+// writes the CFG cannot see.
+
+// DefUse holds the def-use chains of one function.
+type DefUse struct {
+	fn  *FuncInfo
+	cfg *CFG
+
+	// defsFor maps each use identifier to the definition nodes that reach
+	// it. A nil entry under a present key means at least one reaching
+	// definition is external (address-taken writes, closure writes).
+	defsFor map[*ast.Ident][]ast.Node
+
+	// impure marks variables with possible external writes.
+	impure map[*types.Var]bool
+}
+
+// externalDef is the synthetic definition node standing in for writes the
+// CFG cannot see; it never aliases a real AST node.
+var externalDef = &ast.BadStmt{}
+
+// DefsFor returns the definition nodes reaching the given use identifier,
+// and whether all of them are visible in the CFG (false when the variable
+// may also be written through a pointer or a closure). A nil, false return
+// means the identifier is not a tracked local use.
+func (du *DefUse) DefsFor(use *ast.Ident) (defs []ast.Node, complete bool) {
+	ds, ok := du.defsFor[use]
+	if !ok {
+		return nil, false
+	}
+	complete = true
+	for _, d := range ds {
+		if d == externalDef {
+			complete = false
+			continue
+		}
+		defs = append(defs, d)
+	}
+	return defs, complete
+}
+
+// duEvent is one ordered def or use of a variable inside a block node.
+type duEvent struct {
+	v     *types.Var
+	ident *ast.Ident // the occurrence (nil for implicit defs)
+	def   ast.Node   // non-nil when the event defines v
+}
+
+// BuildDefUse computes the def-use chains for fn. Results are memoized on
+// the FuncInfo via DefUse().
+func buildDefUse(fn *FuncInfo) *DefUse {
+	cfg := fn.CFG()
+	du := &DefUse{
+		fn:      fn,
+		cfg:     cfg,
+		defsFor: make(map[*ast.Ident][]ast.Node),
+		impure:  make(map[*types.Var]bool),
+	}
+
+	// Pass 1: per-block ordered events, plus the impurity scan.
+	events := make([][]duEvent, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			events[blk.Index] = append(events[blk.Index], du.nodeEvents(n)...)
+		}
+	}
+	du.markImpure()
+
+	// Parameter/receiver/named-result definitions live at function entry.
+	var entry []duEvent
+	for _, field := range fn.paramFields() {
+		for _, name := range field.Names {
+			if v, ok := fn.Pkg.Info.Defs[name].(*types.Var); ok {
+				entry = append(entry, duEvent{v: v, ident: name, def: fn.Decl})
+			}
+		}
+	}
+	events[cfg.Entry.Index] = append(entry, events[cfg.Entry.Index]...)
+
+	// Pass 2: reaching definitions to a fixed point. State: v -> set of
+	// def nodes.
+	type state = map[*types.Var]map[ast.Node]bool
+	in := make([]state, len(cfg.Blocks))
+	out := make([]state, len(cfg.Blocks))
+	apply := func(st state, evs []duEvent, record bool) state {
+		for _, ev := range evs {
+			if ev.def != nil {
+				st[ev.v] = map[ast.Node]bool{ev.def: true}
+				continue
+			}
+			if record && ev.ident != nil {
+				var defs []ast.Node
+				for d := range st[ev.v] {
+					defs = append(defs, d)
+				}
+				if du.impure[ev.v] {
+					defs = append(defs, externalDef)
+				}
+				du.defsFor[ev.ident] = defs
+			}
+		}
+		return st
+	}
+	copyState := func(st state) state {
+		c := make(state, len(st))
+		for v, defs := range st {
+			d := make(map[ast.Node]bool, len(defs))
+			for n := range defs {
+				d[n] = true
+			}
+			c[v] = d
+		}
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			st := make(state)
+			for _, p := range blk.Preds {
+				if out[p.Index] == nil {
+					continue
+				}
+				for v, defs := range out[p.Index] {
+					if st[v] == nil {
+						st[v] = make(map[ast.Node]bool, len(defs))
+					}
+					for n := range defs {
+						st[v][n] = true
+					}
+				}
+			}
+			in[blk.Index] = st
+			next := apply(copyState(st), events[blk.Index], false)
+			if !sameState(out[blk.Index], next) {
+				out[blk.Index] = next
+				changed = true
+			}
+		}
+	}
+
+	// Pass 3: resolve uses with the converged block-entry states.
+	for _, blk := range cfg.Blocks {
+		apply(copyState(in[blk.Index]), events[blk.Index], true)
+	}
+	return du
+}
+
+func sameState(a, b map[*types.Var]map[ast.Node]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, ad := range a {
+		bd, ok := b[v]
+		if !ok || len(ad) != len(bd) {
+			return false
+		}
+		for n := range ad {
+			if !bd[n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nodeEvents extracts the ordered defs and uses of one block node. Order
+// within a node approximates Go's evaluation order closely enough for the
+// chains: RHS uses before LHS defs, range X before key/value defs.
+func (du *DefUse) nodeEvents(n ast.Node) []duEvent {
+	var evs []duEvent
+	info := du.fn.Pkg.Info
+	useIdent := func(id *ast.Ident) {
+		if v := du.localVar(info.Uses[id]); v != nil {
+			evs = append(evs, duEvent{v: v, ident: id})
+		}
+	}
+	defIdent := func(id *ast.Ident) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id] // plain = assignment
+		}
+		if v := du.localVar(obj); v != nil {
+			evs = append(evs, duEvent{v: v, ident: id, def: n})
+		}
+	}
+	usesIn := func(e ast.Node) {
+		if e == nil {
+			return
+		}
+		inspectShallow(e, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				useIdent(id)
+			}
+			return true
+		})
+	}
+
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			usesIn(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+					useIdent(id) // op= reads before writing
+				}
+				defIdent(id)
+			} else {
+				usesIn(lhs) // x.f = v, x[i] = v: the base is a use
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			useIdent(id)
+			defIdent(id)
+		} else {
+			usesIn(s.X)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						usesIn(val)
+					}
+					for _, name := range vs.Names {
+						defIdent(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		usesIn(s.X)
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				defIdent(id)
+			}
+		}
+	default:
+		usesIn(n)
+	}
+	return evs
+}
+
+// localVar filters obj down to a non-field local variable of this
+// function (parameters included).
+func (du *DefUse) localVar(obj types.Object) *types.Var {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	decl := du.fn.Decl
+	if v.Pos() < decl.Pos() || v.Pos() > decl.End() {
+		return nil
+	}
+	return v
+}
+
+// markImpure scans the whole declaration (closures included) for
+// address-taken locals and locals assigned inside function literals.
+func (du *DefUse) markImpure() {
+	info := du.fn.Pkg.Info
+	var inLit int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inLit++
+			ast.Inspect(n.Body, walk)
+			inLit--
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v := du.localVar(info.Uses[id]); v != nil {
+						du.impure[v] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if inLit > 0 {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if v := du.localVar(info.Uses[id]); v != nil {
+							du.impure[v] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(du.fn.Decl, walk)
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into nested
+// statement blocks or function literals — exactly the parts of a CFG node
+// that belong to other blocks (a RangeStmt node carries its body; go and
+// defer carry closures).
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c.(type) {
+		case *ast.BlockStmt:
+			if c != n {
+				return false
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return f(c)
+	})
+}

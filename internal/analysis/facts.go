@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// facts.go exports the dataflow engine's intermediate products — the call
+// graph, the mutex acquisition graph, and the borrow annotations — as a
+// JSON document (cloudgraph-vet -facts). The facts are the review artifact
+// the analyzers are built on: diffing them across commits shows exactly
+// which new call edge introduced a lock inversion or which function grew a
+// borrow surface, without re-reading the code.
+
+// Facts is the JSON-exported view of one module analysis.
+type Facts struct {
+	Packages    []string       `json:"packages"`
+	Functions   []FactFunc     `json:"functions"`
+	CallGraph   []FactCall     `json:"call_graph"`
+	LockGraph   []FactLockEdge `json:"lock_graph"`
+	BorrowSites []FactBorrow   `json:"borrow_sites"`
+}
+
+// FactFunc is one declared function.
+type FactFunc struct {
+	Package string `json:"package"`
+	Name    string `json:"name"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	// Calls is the number of static call sites on the function's own
+	// execution path.
+	Calls int `json:"calls"`
+}
+
+// FactCall is one static call-graph edge between module functions.
+type FactCall struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// FactLockEdge is one acquisition-order edge: To is acquired while From is
+// held, first witnessed at File:Line.
+type FactLockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// FactBorrow is one //vet:borrowed annotation site.
+type FactBorrow struct {
+	Package  string   `json:"package"`
+	Function string   `json:"function"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Borrowed []string `json:"borrowed"`
+}
+
+// ComputeFacts builds the exported facts over one loaded package set.
+func ComputeFacts(pkgs []*Package) *Facts {
+	idx := BuildIndex(pkgs)
+	// Empty sections marshal as [] rather than null: consumers diff these.
+	facts := &Facts{
+		Packages:    []string{},
+		Functions:   []FactFunc{},
+		CallGraph:   []FactCall{},
+		LockGraph:   []FactLockEdge{},
+		BorrowSites: []FactBorrow{},
+	}
+	for _, pkg := range pkgs {
+		facts.Packages = append(facts.Packages, pkg.Path)
+	}
+	sort.Strings(facts.Packages)
+
+	qualified := func(fi *FuncInfo) string { return fi.Pkg.Path + "." + fi.Name() }
+	for _, fi := range idx.FuncsInOrder() {
+		pos := fi.Pkg.Fset.Position(fi.Decl.Pos())
+		facts.Functions = append(facts.Functions, FactFunc{
+			Package: fi.Pkg.Path,
+			Name:    fi.Name(),
+			File:    pos.Filename,
+			Line:    pos.Line,
+			Calls:   len(fi.Calls),
+		})
+		for _, cs := range fi.Calls {
+			if cs.Callee == nil {
+				continue
+			}
+			callee, ok := idx.Funcs[cs.Callee]
+			if !ok {
+				continue // external: not part of the module graph
+			}
+			facts.CallGraph = append(facts.CallGraph, FactCall{
+				From: qualified(fi),
+				To:   qualified(callee),
+			})
+		}
+		if len(fi.Borrowed) > 0 {
+			names := make([]string, 0, len(fi.Borrowed))
+			for name := range fi.Borrowed {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			facts.BorrowSites = append(facts.BorrowSites, FactBorrow{
+				Package:  fi.Pkg.Path,
+				Function: fi.Name(),
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Borrowed: names,
+			})
+		}
+	}
+	sort.Slice(facts.CallGraph, func(i, j int) bool {
+		a, b := facts.CallGraph[i], facts.CallGraph[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	// Dedupe repeated edges (several call sites, one graph edge).
+	facts.CallGraph = dedupeCalls(facts.CallGraph)
+
+	lp := collectLockGraph(&ModulePass{Analyzer: &Analyzer{Name: "lockorder"}, Index: idx})
+	for key, e := range lp.edges {
+		pos := e.pkg.Fset.Position(e.pos)
+		facts.LockGraph = append(facts.LockGraph, FactLockEdge{
+			From: key[0],
+			To:   key[1],
+			File: pos.Filename,
+			Line: pos.Line,
+		})
+	}
+	sort.Slice(facts.LockGraph, func(i, j int) bool {
+		a, b := facts.LockGraph[i], facts.LockGraph[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return facts
+}
+
+func dedupeCalls(edges []FactCall) []FactCall {
+	out := edges[:0]
+	for i, e := range edges {
+		if i > 0 && edges[i-1] == e {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

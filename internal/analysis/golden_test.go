@@ -100,6 +100,12 @@ func TestTracectxGolden(t *testing.T)   { runGolden(t, "tracectx", Tracectx()) }
 
 func TestBusconsumerGolden(t *testing.T) { runGolden(t, "busconsumer", Busconsumer()) }
 
+// Dataflow-engine analyzers: module-wide passes run the same way — the
+// testdata directory is the whole "module" for the index.
+func TestBorrowescapeGolden(t *testing.T) { runGolden(t, "borrowescape", Borrowescape()) }
+func TestLockorderGolden(t *testing.T)    { runGolden(t, "lockorder", Lockorder()) }
+func TestAtomicmixGolden(t *testing.T)    { runGolden(t, "atomicmix", Atomicmix()) }
+
 // TestModuleClean runs the full suite over the real module, pinning the
 // tree to zero findings — the same gate CI applies via cmd/cloudgraph-vet.
 func TestModuleClean(t *testing.T) {

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// sarif.go renders findings as a minimal SARIF 2.1.0 log — the exchange
+// format code-review UIs ingest — and parses it back, so the CI artifact
+// can be round-trip tested instead of schema-eyeballed. Only the subset
+// the findings carry is emitted: one run, one rule per analyzer, one
+// result per finding with a physical location.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string           `json:"id"`
+	ShortDescription sarifMultiformat `json:"shortDescription"`
+}
+
+type sarifMultiformat struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string           `json:"ruleId"`
+	Level     string           `json:"level"`
+	Message   sarifMultiformat `json:"message"`
+	Locations []sarifLocation  `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// ToSARIF renders findings as a SARIF 2.1.0 JSON document. ruleDocs maps
+// analyzer names to their one-line docs (missing entries get the name).
+func ToSARIF(findings []Finding, ruleDocs map[string]string) ([]byte, error) {
+	ruleNames := make(map[string]bool)
+	for _, f := range findings {
+		ruleNames[f.Analyzer] = true
+	}
+	rules := make([]sarifRule, 0, len(ruleNames))
+	for name := range ruleNames {
+		doc := ruleDocs[name]
+		if doc == "" {
+			doc = name
+		}
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMultiformat{Text: doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMultiformat{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cloudgraph-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// ParseSARIF decodes a SARIF document produced by ToSARIF back into
+// findings, for the round-trip test and for downstream tooling that wants
+// typed access.
+func ParseSARIF(data []byte) ([]Finding, error) {
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		return nil, fmt.Errorf("sarif: %w", err)
+	}
+	if log.Version != sarifVersion {
+		return nil, fmt.Errorf("sarif: unsupported version %q", log.Version)
+	}
+	var out []Finding
+	for _, run := range log.Runs {
+		for _, r := range run.Results {
+			f := Finding{Analyzer: r.RuleID, Message: r.Message.Text}
+			if len(r.Locations) > 0 {
+				loc := r.Locations[0].PhysicalLocation
+				f.File = loc.ArtifactLocation.URI
+				f.Line = loc.Region.StartLine
+				f.Col = loc.Region.StartColumn
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

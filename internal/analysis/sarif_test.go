@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestSARIFRoundTrip pins the -sarif output: findings encode to SARIF
+// 2.1.0 and decode back unchanged, so the CI artifact is a faithful view
+// of the suite's findings.
+func TestSARIFRoundTrip(t *testing.T) {
+	in := []Finding{
+		{Analyzer: "lockorder", File: "internal/core/engine.go", Line: 42, Col: 7, Message: "lock-order cycle: A -> B -> A"},
+		{Analyzer: "borrowescape", File: "internal/analytics/server.go", Line: 9, Col: 2, Message: `borrowed value recs escapes: sent on a channel`},
+		{Analyzer: "borrowescape", File: "internal/flowlog/codec.go", Line: 1, Col: 1, Message: "use of sc after sync.Pool.Put returned it to the pool"},
+	}
+	docs := map[string]string{
+		"lockorder":    "mutex acquisition graph must be acyclic",
+		"borrowescape": "borrowed values must not escape",
+	}
+	data, err := ToSARIF(in, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSARIF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestSARIFShape checks the schema essentials a SARIF consumer requires:
+// version, one run, a driver name, and rules for every analyzer that
+// produced a finding.
+func TestSARIFShape(t *testing.T) {
+	in := []Finding{{Analyzer: "atomicmix", File: "x.go", Line: 3, Col: 1, Message: "plain access of c.hits"}}
+	data, err := ToSARIF(in, map[string]string{"atomicmix": "all-or-nothing atomics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["version"] != "2.1.0" {
+		t.Fatalf("version = %v", doc["version"])
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "cloudgraph-vet" {
+		t.Fatalf("driver name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(rules))
+	}
+	results := run["results"].([]any)
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+}
+
+// TestSARIFEmpty pins the clean-run artifact: zero findings still produce
+// a valid document with an empty results array, not null.
+func TestSARIFEmpty(t *testing.T) {
+	data, err := ToSARIF(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSARIF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("want no findings, got %v", out)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	run := doc["runs"].([]any)[0].(map[string]any)
+	if _, ok := run["results"].([]any); !ok {
+		t.Fatalf("results must be an array, got %T", run["results"])
+	}
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if _, ok := driver["rules"].([]any); !ok {
+		t.Fatalf("rules must be an array even with no findings, got %T", driver["rules"])
+	}
+}

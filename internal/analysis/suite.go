@@ -19,5 +19,11 @@ func Suite() []*Analyzer {
 			"cloudgraph/internal/summarize",
 		),
 		Busconsumer(), // module wide: consumer specs are built in core, runner, cmd and tests
+
+		// Dataflow-engine analyzers: these run once over the whole module
+		// with the shared index (CFGs, def-use chains, call graph).
+		Borrowescape(),
+		Lockorder(),
+		Atomicmix(),
 	}
 }

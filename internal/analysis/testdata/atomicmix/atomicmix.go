@@ -1,0 +1,76 @@
+// Package atomicmix is the golden-file input for the atomicmix analyzer:
+// fields accessed through sync/atomic in one place and plainly in another.
+package atomicmix
+
+import "sync/atomic"
+
+// Counter mixes an atomic field (hits) with a never-atomic one (total).
+type Counter struct {
+	hits  int64
+	total int64
+}
+
+// Inc is the atomic site that puts hits under the all-or-nothing rule.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ReadRacy loads the atomic field plainly: the data race this analyzer
+// exists for.
+func (c *Counter) ReadRacy() int64 {
+	return c.hits // want "plain access of c.hits"
+}
+
+// ReadSafe is the sanctioned access.
+func (c *Counter) ReadSafe() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// resetShared writes the field plainly on a parameter of unknown
+// provenance: flagged.
+func resetShared(c *Counter) {
+	c.hits = 0 // want "plain access of c.hits"
+}
+
+// NewCounter is the constructor shape the def-use chains exempt: every
+// reaching definition of c is a fresh allocation, so no other goroutine
+// can observe the plain write.
+func NewCounter(seed int64) *Counter {
+	c := &Counter{}
+	c.hits = seed // ok: fresh allocation, single-threaded by construction
+	return c
+}
+
+// newCounterVar pins the var-declaration freshness path.
+func newCounterVar(seed int64) Counter {
+	var c Counter
+	c.hits = seed // ok: local zero value, not yet shared
+	return c
+}
+
+// snapshot pins the suppression path.
+func snapshot(c *Counter) int64 {
+	//lint:allow atomicmix counters quiesced: caller stopped all writers
+	return c.hits
+}
+
+// Total never mixes: total has no atomic site anywhere.
+func (c *Counter) Total() int64 {
+	return c.total // ok: plain everywhere
+}
+
+// cursor is the package-level flavor of the same mix.
+var cursor int64
+
+func bump() {
+	atomic.AddInt64(&cursor, 1)
+}
+
+func lastCursor() int64 {
+	return cursor // want "plain access of cursor"
+}
+
+// storeCursor keeps the variable fully atomic.
+func storeCursor(v int64) {
+	atomic.StoreInt64(&cursor, v)
+}

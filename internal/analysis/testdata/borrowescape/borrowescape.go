@@ -1,0 +1,159 @@
+// Package borrowescape is the golden-file input for the borrowescape
+// analyzer: borrowed values (annotated parameters, pool objects,
+// borrowed-return results) leaking past the borrowing call.
+package borrowescape
+
+import "sync"
+
+// Record mimics the module's value-struct wire record: element copies own
+// nothing, so recs[i] does not carry the borrow.
+type Record struct {
+	ID   int
+	Size int
+}
+
+type scratch struct {
+	buf []byte
+}
+
+type sink struct {
+	kept  []Record
+	bytes []byte
+	ptr   *Record
+}
+
+var (
+	globalRecs []Record
+	globalPtr  *scratch
+	sendCh     = make(chan []Record, 1)
+)
+
+// storeEscapes retains the borrowed batch in heap-reachable places.
+//
+//vet:borrowed recs
+func storeEscapes(s *sink, recs []Record) {
+	s.kept = recs     // want "stored to heap-reachable s.kept"
+	globalRecs = recs // want "stored to package-level variable globalRecs"
+}
+
+// carrierEscapes shows derived carriers: the subslice and the element
+// pointer still alias the borrowed buffer; the element copy does not.
+//
+//vet:borrowed recs
+func carrierEscapes(s *sink, recs []Record) {
+	tail := recs[1:]
+	s.kept = tail    // want "stored to heap-reachable s.kept"
+	s.ptr = &recs[0] // want "stored to heap-reachable s.ptr"
+	first := recs[0] // ok: value copy owns nothing
+	s.kept = append(s.kept, first)
+}
+
+// concurrencyEscapes hands the borrow to code whose lifetime is not
+// ordered with the loan.
+//
+//vet:borrowed recs
+func concurrencyEscapes(recs []Record) {
+	sendCh <- recs   // want "sent on a channel"
+	go consume(recs) // want "handed to a goroutine"
+	go func() {
+		_ = recs // want "captured by a closure"
+	}()
+}
+
+func consume(recs []Record) {}
+
+// returnEscapes returns the borrow without declaring the transfer.
+//
+//vet:borrowed recs
+func returnEscapes(recs []Record) []Record {
+	return recs // want "returned to the caller"
+}
+
+// lendOn declares the transfer: returning the borrow is the contract.
+//
+//vet:borrowed buf return
+func lendOn(buf []byte) []byte {
+	return append(buf, 0) // ok: //vet:borrowed return
+}
+
+// useLent receives a borrow from a borrowed-return callee and leaks it.
+func useLent(s *sink) {
+	b := lendOn(make([]byte, 0, 8))
+	s.bytes = b // want "stored to heap-reachable s.bytes"
+}
+
+// retain is unannotated; its summary records that rs escapes through it.
+func retain(s *sink, rs []Record) {
+	s.kept = rs
+}
+
+// summaryEscape passes the borrow to a callee whose dataflow summary says
+// the parameter is retained — the finding lands at the call site.
+//
+//vet:borrowed recs
+func summaryEscape(s *sink, recs []Record) {
+	retain(s, recs) // want "the callee retains parameter rs"
+}
+
+// mutateBorrowed stores into the borrowed object itself: in-place mutation
+// of the loan is the whole point of borrowing.
+//
+//vet:borrowed sc
+func mutateBorrowed(sc *scratch, b byte) {
+	sc.buf = append(sc.buf, b) // ok: mutation through the borrow
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// useAfterPut reads the pool object after returning it: every path to the
+// use passes the Put.
+func useAfterPut() int {
+	sc := pool.Get().(*scratch)
+	n := len(sc.buf)
+	pool.Put(sc)
+	return n + len(sc.buf) // want "use of sc after sync.Pool.Put"
+}
+
+// poolPerIteration is the clean loop shape: the variable re-binds from
+// Get before any use, so the loop back-edge does not poison it.
+func poolPerIteration() int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		sc := pool.Get().(*scratch)
+		total += len(sc.buf)
+		pool.Put(sc)
+	}
+	return total
+}
+
+// poolEscape leaks a pool object to a global: the pool hands it to someone
+// else on the next Get.
+func poolEscape() {
+	sc := pool.Get().(*scratch)
+	globalPtr = sc // want "stored to package-level variable globalPtr"
+	pool.Put(sc)
+}
+
+// suppressed pins the //lint:allow path: the same store as storeEscapes,
+// justified inline, produces no finding.
+//
+//vet:borrowed recs
+func suppressed(s *sink, recs []Record) {
+	//lint:allow borrowescape test harness snapshots the batch before reuse
+	s.kept = recs
+}
+
+// cleanScan is the intended hot-path shape: read the borrow, copy what is
+// kept, let it go.
+//
+//vet:borrowed recs
+func cleanScan(s *sink, recs []Record) int {
+	total := 0
+	for i := range recs {
+		total += recs[i].Size
+		if recs[i].ID > 0 {
+			s.kept = append(s.kept, recs[i]) // ok: element value copy
+		}
+	}
+	return total // ok: an int is not the borrow
+}

@@ -1,0 +1,144 @@
+// Package lockorder is the golden-file input for the lockorder analyzer:
+// inverted acquisition orders (direct and through calls), lock
+// reacquisition, and lock-held calls into the consumer bus.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var (
+	sharedA A
+	sharedB B
+)
+
+// lockAB and lockBA take the same two locks in opposite orders — the
+// classic deadlock pair. Both witness sites are on the cycle and both are
+// reported.
+func lockAB() {
+	sharedA.mu.Lock()
+	sharedB.mu.Lock() // want "lock-order cycle"
+	sharedB.mu.Unlock()
+	sharedA.mu.Unlock()
+}
+
+func lockBA() {
+	sharedB.mu.Lock()
+	sharedA.mu.Lock() // want "lock-order cycle"
+	sharedA.mu.Unlock()
+	sharedB.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// lockCD closes the cycle through a callee: the C->D edge is witnessed at
+// the call, via lockD's acquisition summary.
+func lockCD(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want "lock-order cycle"
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockDC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want "lock-order cycle"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type S struct{ mu sync.Mutex }
+
+// reacquire takes the same lock identity twice: self-deadlock on one
+// instance, unordered across two.
+func (s *S) reacquire(other *S) {
+	s.mu.Lock()
+	other.mu.Lock() // want "already held"
+	other.mu.Unlock()
+	s.mu.Unlock()
+}
+
+var gmu sync.Mutex
+
+// regrabGlobal pins the package-level-variable lock identity.
+func regrabGlobal() {
+	gmu.Lock()
+	gmu.Lock() // want "already held"
+	gmu.Unlock()
+	gmu.Unlock()
+}
+
+// Bus mimics core's consumer fan-out bus; Drain and Close block on
+// consumer progress.
+type Bus struct{}
+
+func (b *Bus) Drain() {}
+func (b *Bus) Close() {}
+
+type Engine struct {
+	mu  sync.Mutex
+	bus *Bus
+}
+
+func (e *Engine) flushBad() {
+	e.mu.Lock()
+	e.bus.Drain() // want "call into the consumer bus"
+	e.mu.Unlock()
+}
+
+// closeBad holds the lock to function end via the deferred unlock.
+func (e *Engine) closeBad() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bus.Close() // want "call into the consumer bus"
+}
+
+func (e *Engine) flushGood() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.bus.Drain() // ok: lock released first
+}
+
+// drainOnShutdown pins the suppression path: consumers are stopped before
+// this is called, justified inline.
+func (e *Engine) drainOnShutdown() {
+	e.mu.Lock()
+	//lint:allow lockorder shutdown path: consumers already stopped before drain
+	e.bus.Drain()
+	e.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// consistentOne/Two take E before F everywhere: an edge with no reverse is
+// an order, not a hazard.
+func consistentOne(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func consistentTwo(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// localLock is invisible: a function-local mutex cannot order against
+// anything across calls.
+func localLock(f *F) {
+	var mu sync.Mutex
+	mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	mu.Unlock()
+}

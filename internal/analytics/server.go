@@ -325,6 +325,8 @@ type connScratch struct {
 // nextSlot extends batch by one reusable slot, growing the backing array
 // only when capacity runs out (first batches, or a count above any seen
 // before on this connection).
+//
+//vet:borrowed batch return
 func nextSlot(batch []flowlog.Record) []flowlog.Record {
 	if len(batch) < cap(batch) {
 		return batch[:len(batch)+1]
@@ -411,6 +413,8 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader, sc *connScratch) (a
 // protocol, parsing leftover binary bytes as commands. Only a short read
 // (fewer bytes than promised) may leave the stream mid-batch, and that
 // already ends the connection.
+//
+//vet:borrowed sc return
 func readBatch(r io.Reader, n int, sc *connScratch) ([]flowlog.Record, error) {
 	if sc.batch == nil {
 		pre := min(n, 4096) // don't let a huge declared count pre-allocate unboundedly

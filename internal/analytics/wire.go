@@ -66,6 +66,8 @@ func appendFlaggedFrame(buf []byte, rec flowlog.Record, tc trace.Context) []byte
 // decode, so the stream stays command-aligned. Only short reads and unknown
 // flag bytes (errDesync) leave the stream mid-batch, and both end the
 // connection.
+//
+//vet:borrowed sc return
 func readBatchFlagged(r io.Reader, n int, sc *connScratch) ([]flowlog.Record, []trace.Context, error) {
 	if sc.batch == nil {
 		pre := min(n, 4096) // don't let a huge declared count pre-allocate unboundedly

@@ -289,6 +289,8 @@ func (e *Engine) onWindow(g *graph.Graph, traces []trace.Context) {
 // backing array for the next batch as soon as Ingest returns. This is what
 // lets servers decode the wire into one per-connection buffer with no
 // per-batch allocation.
+//
+//vet:borrowed recs
 func (e *Engine) Ingest(recs []flowlog.Record) { e.IngestTraced(recs, nil) }
 
 // shardScratch is the pooled per-batch scratch of the sharded ingest path:
@@ -307,6 +309,8 @@ var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
 // context is queued against the record's window so the merge pass can
 // continue the trace. Aggregation output is identical to Ingest — contexts
 // never enter the records or the graphs' counters.
+//
+//vet:borrowed recs tcs
 func (e *Engine) IngestTraced(recs []flowlog.Record, tcs []trace.Context) {
 	if len(recs) == 0 {
 		return

@@ -63,6 +63,7 @@ func DecodeBinary(b []byte) (Record, error) {
 // never leak into a reused buffer.
 //
 //wire:codec Record
+//vet:borrowed r b
 func DecodeBinaryInto(r *Record, b []byte) error {
 	if len(b) < WireSize {
 		*r = Record{}
@@ -144,6 +145,8 @@ func (r *Reader) Read() (Record, error) {
 // the first frame returns (n, io.EOF) with n possibly positive; a truncated
 // frame returns io.ErrUnexpectedEOF; a garbage frame returns ErrBadRecord
 // with the preceding good records counted in n.
+//
+//vet:borrowed dst
 func (r *Reader) ReadBatch(dst []Record) (int, error) {
 	for n := range dst {
 		if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
