@@ -30,6 +30,7 @@ import (
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/graph"
+	"cloudgraph/internal/histstore"
 )
 
 // Report is the BENCH_<date>.json schema. Bytes-per-edge figures count
@@ -48,6 +49,13 @@ type Report struct {
 	MapBytesPerEdge  float64 `json:"map_bytes_per_edge"`
 	CSRBytesPerEdge  float64 `json:"csr_bytes_per_edge"`
 	BytesPerEdgeGain float64 `json:"bytes_per_edge_gain"`
+	// Durable history figures: the same cluster hour windowed by the
+	// minute, appended to a histstore, replayed (the crash-recovery path),
+	// and compacted into hour roll-ups.
+	HistWindows          int     `json:"hist_windows"`
+	HistBytesPerWindow   float64 `json:"hist_bytes_per_window_disk"`
+	HistReplayPerSec     float64 `json:"hist_replay_windows_per_sec"`
+	HistCompactBytesGain float64 `json:"hist_compaction_bytes_gain"`
 }
 
 func heapAlloc() uint64 {
@@ -95,18 +103,18 @@ func measureBytesPerEdge(r *Report) error {
 	return nil
 }
 
-func measureIngest(r *Report) error {
+func measureIngest(r *Report) ([]flowlog.Record, error) {
 	spec, err := cluster.Preset("k8spaas", 0.25)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c, err := cluster.New(spec)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	recs, err := c.CollectHour(time.Unix(1700000000, 0).UTC().Truncate(time.Hour))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var wire []byte
 	for _, rec := range recs {
@@ -152,12 +160,91 @@ func measureIngest(r *Report) error {
 	}
 	elapsed := time.Since(start)
 	if len(e.Flush()) == 0 {
-		return fmt.Errorf("no windows completed")
+		return nil, fmt.Errorf("no windows completed")
 	}
 	r.RecordsPerSec = float64(passes*len(recs)) / elapsed.Seconds()
 	// Single-goroutine ingest uses one core; per-core is the same figure,
 	// kept as its own field so a future parallel driver can diverge.
 	r.RecordsPerSecPer = r.RecordsPerSec
+	return recs, nil
+}
+
+// measureHistory appends the cluster hour as minute windows to a durable
+// history store, times a full replay (the crash-recovery startup path),
+// and compacts the hour into a roll-up to report the on-disk reduction.
+func measureHistory(r *Report, recs []flowlog.Record) error {
+	var windows []*graph.Graph
+	w := core.NewWindower(time.Minute, graph.BuilderOptions{})
+	w.OnComplete = func(g *graph.Graph) {
+		g.Freeze()
+		windows = append(windows, g)
+	}
+	for _, rec := range recs {
+		w.Add(rec)
+	}
+	w.Flush()
+	if len(windows) < 10 {
+		return fmt.Errorf("only %d minute windows", len(windows))
+	}
+
+	dir, err := os.MkdirTemp("", "benchhist")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// SegmentWindows 6 seals the full hour; a short retention plus the
+	// sentinel window below makes the hour bucket compactable.
+	hs, err := histstore.Open(dir, histstore.Options{
+		SegmentWindows: 6,
+		Retention:      30 * time.Minute,
+		NoSync:         true,
+	})
+	if err != nil {
+		return err
+	}
+	defer hs.Close()
+	for i, g := range windows {
+		if err := hs.Append(uint64(i+1), g); err != nil {
+			return err
+		}
+	}
+	r.HistWindows = len(windows)
+	r.HistBytesPerWindow = float64(hs.Stats().Bytes) / float64(len(windows))
+
+	// Replay rate: what recovery costs per recorded window.
+	const passes = 3
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		n := 0
+		if err := hs.Replay(func(uint64, *graph.Graph) error { n++; return nil }); err != nil {
+			return err
+		}
+		if n != len(windows) {
+			return fmt.Errorf("replay saw %d of %d windows", n, len(windows))
+		}
+	}
+	r.HistReplayPerSec = float64(passes*len(windows)) / time.Since(start).Seconds()
+
+	// A sentinel past the hour closes the bucket so compaction can roll
+	// the whole hour up.
+	sentinel := graph.New(graph.FacetIP)
+	sentinel.AddEdge(graph.IPNode(netip.MustParseAddr("10.9.9.9")),
+		graph.IPNode(netip.MustParseAddr("10.9.9.10")),
+		graph.Counters{Bytes: 1, Packets: 1, Conns: 1})
+	sentinel.Start = windows[0].Start.Truncate(time.Hour).Add(3 * time.Hour)
+	sentinel.End = sentinel.Start.Add(time.Minute)
+	sentinel.Freeze()
+	if err := hs.Append(uint64(len(windows)+1), sentinel); err != nil {
+		return err
+	}
+	cs, err := hs.Compact()
+	if err != nil {
+		return err
+	}
+	if cs.Rollups == 0 || cs.BytesAfter == 0 {
+		return fmt.Errorf("compaction rolled nothing up: %+v", cs)
+	}
+	r.HistCompactBytesGain = float64(cs.BytesBefore) / float64(cs.BytesAfter)
 	return nil
 }
 
@@ -173,7 +260,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
-	if err := measureIngest(r); err != nil {
+	recs, err := measureIngest(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if err := measureHistory(r, recs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}

@@ -20,6 +20,13 @@
 // latest`) and the /analyz ops view, pinned to the epoch that produced
 // them.
 //
+// With -data-dir the daemon is crash-recoverable: every completed window
+// is appended to a durable epoch-indexed segment store, replayed on
+// restart to rebuild the timeline and runners (epochs keep ascending
+// across the crash), compacted into hour roll-ups past
+// -history-retention, and served by QUERY — by epoch or RFC3339 time —
+// long after the in-memory retention has moved on.
+//
 // A second HTTP listener (-ops, default 127.0.0.1:9443) serves operational
 // views of the running daemon: Prometheus metrics on /metrics, liveness on
 // /healthz, profiling on /debug/pprof/, the latest window's adjacency
@@ -41,6 +48,7 @@ import (
 	"cloudgraph/internal/analytics"
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/graph"
+	"cloudgraph/internal/histstore"
 	"cloudgraph/internal/runner"
 	"cloudgraph/internal/store"
 	"cloudgraph/internal/telemetry"
@@ -81,6 +89,8 @@ func main() {
 		live        = flag.Bool("live", true, "run the online analysis plane (timeline + runners) on the consumer bus")
 		rollup      = flag.Duration("rollup", time.Hour, "timeline roll-up bucket size (0 disables roll-ups)")
 		retention   = flag.Int("retention", 96, "timeline window snapshots retained")
+		dataDir     = flag.String("data-dir", "", "durable history directory: completed windows are appended to an epoch-indexed segment store, replayed on restart, and served by QUERY past the in-memory retention (empty disables)")
+		histRet     = flag.Duration("history-retention", 24*time.Hour, "how long the history store keeps window-resolution records before compacting them into hour roll-ups")
 	)
 	flag.Parse()
 
@@ -143,6 +153,51 @@ func main() {
 		plane = runner.New(runner.Config{Timeline: tcfg, Telemetry: reg, Trace: tr})
 		cfg.Consumers = plane.Consumers()
 		log.Printf("analysis plane on: %v (rollup=%v retention=%d)", plane.Runners(), *rollup, *retention)
+	}
+
+	// The durable history store closes the crash-recovery loop: every
+	// completed window is appended (CRC-framed, epoch-indexed) under
+	// -data-dir, replayed here on startup to rebuild the timeline and
+	// runner plane, and compacted into hour roll-ups once it ages past
+	// -history-retention. QUERY falls through to it for epochs older than
+	// the in-memory retention.
+	if *dataDir != "" {
+		hcfg := histstore.Options{Retention: *histRet}
+		if *rollup > 0 {
+			hcfg.RollupBucket = *rollup
+		}
+		hs, err := histstore.Open(*dataDir, hcfg)
+		if err != nil {
+			log.Fatalf("history store: %v", err)
+		}
+		defer hs.Close()
+		hs.Instrument(reg)
+		hs.Trace(tr)
+		recovered := 0
+		if plane != nil {
+			if err := hs.Replay(func(ep uint64, g *graph.Graph) error {
+				plane.Restore(ep, g)
+				recovered++
+				return nil
+			}); err != nil {
+				log.Fatalf("history replay: %v", err)
+			}
+			plane.SetHistory(hs, nil)
+		}
+		cfg.StartEpoch = hs.LastEpoch()
+		cfg.Consumers = append(cfg.Consumers, core.ConsumerSpec{
+			Name:   "history",
+			Buffer: 256,
+			Fn: func(epoch uint64, g *graph.Graph) {
+				if err := hs.Append(epoch, g); err != nil {
+					log.Printf("history append: %v", err)
+				}
+			},
+		})
+		stopCompact := hs.StartCompactor(time.Minute)
+		defer stopCompact()
+		log.Printf("durable history in %s (recovered %d windows, resuming at epoch %d, retention=%v)",
+			*dataDir, recovered, cfg.StartEpoch, *histRet)
 	}
 
 	srv, err := analytics.ServeWith(*addr, cfg, analytics.Options{Plane: plane})

@@ -413,23 +413,31 @@ func cmdQuery(args []string) {
 	addr := fs.String("addr", "127.0.0.1:7443", "cloudgraphd address")
 	fs.Parse(args)
 	if fs.NArg() < 1 || fs.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: graphctl query [-addr host:port] <analysis> [<epoch>|latest]")
+		fmt.Fprintln(os.Stderr, "usage: graphctl query [-addr host:port] <analysis> [<epoch>|<rfc3339-time>|latest]")
 		os.Exit(2)
 	}
-	var epoch uint64
-	if fs.NArg() == 2 && !strings.EqualFold(fs.Arg(1), "latest") {
-		n, err := strconv.ParseUint(fs.Arg(1), 10, 64)
-		if err != nil || n == 0 {
-			log.Fatalf("bad epoch %q: want a positive integer or \"latest\"", fs.Arg(1))
+	// The selector may be a raw epoch, "latest", or an RFC3339 timestamp
+	// resolved server-side through the timeline and the durable history
+	// index; validate locally only what would break the line protocol.
+	selector := "latest"
+	if fs.NArg() == 2 {
+		selector = fs.Arg(1)
+		if !strings.EqualFold(selector, "latest") {
+			if n, err := strconv.ParseUint(selector, 10, 64); err == nil && n == 0 {
+				log.Fatalf("bad epoch %q: epochs start at 1", selector)
+			} else if err != nil {
+				if _, terr := time.Parse(time.RFC3339, selector); terr != nil {
+					log.Fatalf("bad selector %q: want a positive epoch, an RFC3339 time or \"latest\"", selector)
+				}
+			}
 		}
-		epoch = n
 	}
 	client, err := analytics.Dial(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	res, err := client.Query(fs.Arg(0), epoch)
+	res, err := client.QuerySelector(fs.Arg(0), selector)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -198,12 +198,21 @@ func (c *Client) Summary() (SummaryResult, error) {
 // sends the "latest" selector. Requires a server with an analysis plane
 // attached (cloudgraphd -live).
 func (c *Client) Query(analysis string, epoch uint64) (QueryResult, error) {
-	cmd := fmt.Sprintf("QUERY %s latest", analysis)
 	if epoch > 0 {
-		cmd = fmt.Sprintf("QUERY %s %d", analysis, epoch)
+		return c.QuerySelector(analysis, strconv.FormatUint(epoch, 10))
+	}
+	return c.QuerySelector(analysis, "latest")
+}
+
+// QuerySelector sends a raw QUERY selector — a positive epoch, an RFC3339
+// timestamp (resolved server-side through the timeline and the durable
+// history index), or "latest".
+func (c *Client) QuerySelector(analysis, selector string) (QueryResult, error) {
+	if strings.ContainsAny(selector, " \t\r\n") || selector == "" {
+		return QueryResult{}, fmt.Errorf("bad selector %q", selector)
 	}
 	var r QueryResult
-	err := c.jsonCmd(cmd, &r)
+	err := c.jsonCmd(fmt.Sprintf("QUERY %s %s", analysis, selector), &r)
 	return r, err
 }
 

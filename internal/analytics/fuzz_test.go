@@ -185,8 +185,9 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 
 // FuzzParseQuery drives the QUERY command decoder with arbitrary command
 // lines. The invariants: the decoder never panics, accepts only names in
-// its documented charset, and maps the epoch selector exactly — absent or
-// "latest" to 0, otherwise a positive integer.
+// its documented charset, and maps the selector exactly — absent or
+// "latest" to the zero selector, a positive integer to that epoch, an
+// RFC3339 timestamp to that instant, everything else to an error.
 func FuzzParseQuery(f *testing.F) {
 	f.Add("QUERY segment latest")
 	f.Add("QUERY summarize 17")
@@ -197,13 +198,16 @@ func FuzzParseQuery(f *testing.F) {
 	f.Add("QUERY \x00\xff latest")
 	f.Add("QUERY segment 18446744073709551615")
 	f.Add("QUERY segment 99999999999999999999999")
+	f.Add("QUERY segment 2023-11-14T22:13:20Z")
+	f.Add("QUERY segment 2023-11-14T22:13:20+05:30")
+	f.Add("QUERY segment 2023-13-99T99:99:99Z")
 
 	f.Fuzz(func(t *testing.T, line string) {
 		fields := strings.Fields(line)
-		name, epoch, err := parseQuery(fields)
+		name, sel, err := parseQuery(fields)
 		if err != nil {
-			if name != "" || epoch != 0 {
-				t.Fatalf("error path leaked values: name=%q epoch=%d err=%v", name, epoch, err)
+			if name != "" || sel.epoch != 0 || !sel.at.IsZero() {
+				t.Fatalf("error path leaked values: name=%q sel=%+v err=%v", name, sel, err)
 			}
 			return
 		}
@@ -213,19 +217,27 @@ func FuzzParseQuery(f *testing.F) {
 		if name != fields[1] || !validAnalysisName(name) {
 			t.Fatalf("accepted name %q from %q", name, line)
 		}
+		if sel.epoch != 0 && !sel.at.IsZero() {
+			t.Fatalf("selector is both epoch and time: %+v from %q", sel, line)
+		}
 		switch {
 		case len(fields) == 2:
-			if epoch != 0 {
-				t.Fatalf("no selector but epoch=%d", epoch)
+			if sel.epoch != 0 || !sel.at.IsZero() {
+				t.Fatalf("no selector but sel=%+v", sel)
 			}
 		case strings.EqualFold(fields[2], "latest"):
-			if epoch != 0 {
-				t.Fatalf("latest selector but epoch=%d", epoch)
+			if sel.epoch != 0 || !sel.at.IsZero() {
+				t.Fatalf("latest selector but sel=%+v", sel)
+			}
+		case sel.epoch != 0:
+			n, perr := strconv.ParseUint(fields[2], 10, 64)
+			if perr != nil || n == 0 || sel.epoch != n {
+				t.Fatalf("selector %q decoded to epoch=%d (parse err %v)", fields[2], sel.epoch, perr)
 			}
 		default:
-			n, perr := strconv.ParseUint(fields[2], 10, 64)
-			if perr != nil || n == 0 || epoch != n {
-				t.Fatalf("selector %q decoded to epoch=%d (parse err %v)", fields[2], epoch, perr)
+			at, perr := time.Parse(time.RFC3339, fields[2])
+			if perr != nil || !sel.at.Equal(at) {
+				t.Fatalf("selector %q decoded to time=%v (parse err %v)", fields[2], sel.at, perr)
 			}
 		}
 	})

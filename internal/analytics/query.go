@@ -6,36 +6,50 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // errQueryUsage is the canonical QUERY syntax error.
-var errQueryUsage = errors.New(`usage: QUERY <analysis> [<epoch>|latest]`)
+var errQueryUsage = errors.New(`usage: QUERY <analysis> [<epoch>|<rfc3339-time>|latest]`)
 
-// parseQuery decodes a QUERY command's whitespace-split fields
-// (fields[0] is the command word itself) into an analysis name and an
-// epoch selector, where epoch 0 means "latest". It is a pure function of
-// its input — no server state — so the fuzzer can drive it directly
-// alongside the binary wire decoders.
-func parseQuery(fields []string) (name string, epoch uint64, err error) {
+// querySelector is a decoded QUERY target: a raw epoch (0 = latest) or,
+// when At is non-zero, a wall-clock instant to resolve through the
+// timeline and the durable history index.
+type querySelector struct {
+	epoch uint64
+	at    time.Time
+}
+
+// parseQuery decodes a QUERY command's whitespace-split fields (fields[0]
+// is the command word itself) into an analysis name and a selector. It is
+// a pure function of its input — no server state — so the fuzzer can
+// drive it directly alongside the binary wire decoders. An RFC3339
+// timestamp is one whitespace-free field, so it arrives whole.
+func parseQuery(fields []string) (name string, sel querySelector, err error) {
 	if len(fields) < 2 || len(fields) > 3 {
-		return "", 0, errQueryUsage
+		return "", querySelector{}, errQueryUsage
 	}
 	name = fields[1]
 	if !validAnalysisName(name) {
-		return "", 0, fmt.Errorf("bad analysis name %q: want lowercase letters, digits, '.', '_' or '-'", name)
+		return "", querySelector{}, fmt.Errorf("bad analysis name %q: want lowercase letters, digits, '.', '_' or '-'", name)
 	}
 	if len(fields) == 2 {
-		return name, 0, nil
+		return name, querySelector{}, nil
 	}
-	sel := fields[2]
-	if strings.EqualFold(sel, "latest") {
-		return name, 0, nil
+	raw := fields[2]
+	if strings.EqualFold(raw, "latest") {
+		return name, querySelector{}, nil
 	}
-	n, perr := strconv.ParseUint(sel, 10, 64)
-	if perr != nil || n == 0 {
-		return "", 0, fmt.Errorf(`bad epoch %q: want a positive integer or "latest"`, sel)
+	if n, perr := strconv.ParseUint(raw, 10, 64); perr == nil {
+		if n == 0 {
+			return "", querySelector{}, fmt.Errorf(`bad epoch %q: want a positive integer, an RFC3339 time or "latest"`, raw)
+		}
+		return name, querySelector{epoch: n}, nil
 	}
-	return name, n, nil
+	if at, perr := time.Parse(time.RFC3339, raw); perr == nil {
+		return name, querySelector{at: at}, nil
+	}
+	return "", querySelector{}, fmt.Errorf(`bad selector %q: want a positive integer epoch, an RFC3339 time or "latest"`, raw)
 }
 
 // validAnalysisName bounds the QUERY name charset so a desynced binary
@@ -73,9 +87,17 @@ func (s *Server) cmdQuery(fields []string) (any, error) {
 	if s.plane == nil {
 		return nil, errors.New("no analysis plane attached (start cloudgraphd with -live)")
 	}
-	name, epoch, err := parseQuery(fields)
+	name, sel, err := parseQuery(fields)
 	if err != nil {
 		return nil, err
+	}
+	epoch := sel.epoch
+	if !sel.at.IsZero() {
+		ep, ok := s.plane.ResolveTime(sel.at)
+		if !ok {
+			return nil, fmt.Errorf("no window covers %s (in memory or on disk)", sel.at.Format(time.RFC3339))
+		}
+		epoch = ep
 	}
 	at, res, err := s.plane.Query(name, epoch)
 	if err != nil {

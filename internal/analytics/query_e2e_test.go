@@ -91,7 +91,9 @@ func TestQueryEndToEnd(t *testing.T) {
 	for _, bad := range []struct{ cmd, wantErr string }{
 		{"QUERY nope latest", "unknown analysis"},
 		{"QUERY segment 999999", "no result at epoch"},
-		{"QUERY segment zero", "bad epoch"},
+		{"QUERY segment zero", "bad selector"},
+		{"QUERY segment 0", "bad epoch"},
+		{"QUERY segment 2031-01-01T00:00:00Z", "no window covers"},
 		{"QUERY Segment latest", "bad analysis name"},
 		{"QUERY", "usage"},
 	} {

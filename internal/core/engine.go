@@ -73,6 +73,11 @@ type Config struct {
 	// recorder when a merge pass runs badly in arrears. Nil disables
 	// tracing for the cost of a branch, like Telemetry.
 	Trace *trace.Tracer
+	// StartEpoch seeds the epoch counter: the first completed window is
+	// published as StartEpoch+1. A restarting daemon passes the last
+	// epoch recovered from its history store so epochs keep ascending
+	// across the crash instead of restarting from 1.
+	StartEpoch uint64
 }
 
 func (c *Config) defaults() {
@@ -196,6 +201,7 @@ func NewEngine(cfg Config) *Engine {
 		tracer:    cfg.Trace,
 	}
 	e.maxStartNS.Store(math.MinInt64)
+	e.epoch.Store(cfg.StartEpoch)
 	opts := graph.BuilderOptions{
 		Facet:      cfg.Facet,
 		Label:      cfg.Label,

@@ -1,0 +1,138 @@
+package histstore
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// manifestName is the single source of truth for which segments exist.
+// Every structural change (seal, roll, compaction) writes a new manifest
+// atomically: tmp file, fsync, rename over the old one, directory fsync.
+// Segment files never change meaning without a manifest swap, so recovery
+// reduces to "trust the manifest, reconcile the directory against it".
+const manifestName = "MANIFEST"
+
+const manifestVersion = 1
+
+// manifestSegment is one segment row as persisted.
+type manifestSegment struct {
+	File     string `json:"file"`
+	Kind     string `json:"kind"` // "window" | "rollup"
+	Sealed   bool   `json:"sealed"`
+	MinEpoch uint64 `json:"min_epoch"`
+	MaxEpoch uint64 `json:"max_epoch"`
+	MinStart int64  `json:"min_start"`
+	MaxEnd   int64  `json:"max_end"`
+	Records  int    `json:"records"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// manifest is the persisted store catalogue.
+type manifest struct {
+	Version  int               `json:"version"`
+	NextID   uint64            `json:"next_id"`
+	Segments []manifestSegment `json:"segments"`
+}
+
+func kindString(k byte) string {
+	if k == kindRollup {
+		return "rollup"
+	}
+	return "window"
+}
+
+func kindByte(s string) (byte, error) {
+	switch s {
+	case "window":
+		return kindWindow, nil
+	case "rollup":
+		return kindRollup, nil
+	}
+	return 0, ErrCorrupt
+}
+
+// loadManifest reads the manifest, returning an empty one when the file
+// does not exist (fresh directory).
+func loadManifest(dir string) (*manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return &manifest{Version: manifestVersion, NextID: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, ErrCorrupt
+	}
+	if m.Version != manifestVersion {
+		return nil, ErrCorrupt
+	}
+	if m.NextID == 0 {
+		m.NextID = 1
+	}
+	return &m, nil
+}
+
+// saveManifest persists m atomically and fsyncs the directory so the
+// rename itself is durable.
+func saveManifest(dir string, m *manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		//lint:allow errdrop best-effort cleanup; the Write error is the one the caller needs
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		//lint:allow errdrop best-effort cleanup; the Sync error is the one the caller needs
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// manifestRow converts in-memory segment state to its persisted row.
+func manifestRow(si *segmentInfo) manifestSegment {
+	return manifestSegment{
+		File:     si.file,
+		Kind:     kindString(si.kind),
+		Sealed:   si.sealed,
+		MinEpoch: si.minEpoch,
+		MaxEpoch: si.maxEpoch,
+		MinStart: si.minStart,
+		MaxEnd:   si.maxEnd,
+		Records:  si.records,
+		Bytes:    si.bytes,
+	}
+}

@@ -15,6 +15,11 @@ type analyzIndex struct {
 	// TimelineOldest/Newest are the timeline's addressable epoch range.
 	TimelineOldest uint64 `json:"timeline_oldest"`
 	TimelineNewest uint64 `json:"timeline_newest"`
+	// HistoryOldest/Newest are the durable store's replayable window
+	// epoch range; epochs in it but outside the in-memory retention are
+	// served from disk. Both 0 when no history store is attached.
+	HistoryOldest uint64 `json:"history_oldest"`
+	HistoryNewest uint64 `json:"history_newest"`
 }
 
 type analyzEntry struct {
@@ -34,6 +39,11 @@ func (p *Plane) AnalyzHandler() http.Handler {
 		if name == "" {
 			idx := analyzIndex{}
 			idx.TimelineOldest, idx.TimelineNewest = p.tl.Epochs()
+			if h := p.History(); h != nil {
+				if lo, hi, ok := h.WindowEpochs(); ok {
+					idx.HistoryOldest, idx.HistoryNewest = lo, hi
+				}
+			}
 			for _, n := range p.Runners() {
 				e := analyzEntry{Name: n}
 				e.Oldest, e.Newest = p.Epochs(n)

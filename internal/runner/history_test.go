@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/histstore"
+)
+
+// TestQueryFallsThroughToDisk pins the acceptance property of the durable
+// history wiring: an epoch evicted from the plane's in-memory result
+// retention is still answerable — QUERY falls through to the history
+// store, replays the recorded windows through a fresh runner, and the
+// re-derived result is byte-equal to what a plane with unlimited
+// retention holds in memory for the same epoch.
+func TestQueryFallsThroughToDisk(t *testing.T) {
+	recs := seededStream(t)
+	const window = 5 * time.Minute
+
+	// The reference plane retains every epoch in memory.
+	full := New(Config{})
+	windows := full.Replay(recs, ReplayOptions{Window: window})
+	if len(windows) < 8 {
+		t.Fatalf("stream produced only %d windows", len(windows))
+	}
+
+	// The constrained plane keeps just 3 epochs of results but records
+	// every window durably — the cloudgraphd -data-dir arrangement.
+	hs, err := histstore.Open(t.TempDir(), histstore.Options{SegmentWindows: 4, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	short := New(Config{History: 3})
+	short.Replay(recs, ReplayOptions{Window: window})
+	for i, g := range windows {
+		if err := hs.Append(uint64(i+1), g); err != nil {
+			t.Fatalf("append window %d: %v", i+1, err)
+		}
+	}
+	short.SetHistory(hs, nil)
+
+	// Epoch 2 must be gone from memory — the miss is what we are testing.
+	oldest, newest := short.Epochs("segment")
+	if oldest <= 2 {
+		t.Fatalf("oldest retained epoch %d; retention did not evict epoch 2", oldest)
+	}
+
+	for _, name := range short.Runners() {
+		ep, disk, err := short.Query(name, 2)
+		if err != nil {
+			t.Fatalf("QUERY %s@2 via disk: %v", name, err)
+		}
+		if ep != 2 {
+			t.Fatalf("QUERY %s@2 answered epoch %d", name, ep)
+		}
+		_, mem, err := full.Query(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(disk) != string(mem) {
+			t.Fatalf("%s@2: disk result diverges from in-memory:\n  disk: %s\n  mem:  %s", name, disk, mem)
+		}
+	}
+
+	// In-memory epochs still answer from memory (same bytes either way).
+	if _, _, err := short.Query("segment", newest); err != nil {
+		t.Fatalf("QUERY newest from memory: %v", err)
+	}
+
+	// Epochs past the recorded history stay an error, and the error names
+	// the range so operators can see what is on disk.
+	if _, _, err := short.Query("segment", newest+100); err == nil ||
+		!strings.Contains(err.Error(), "history holds") {
+		t.Fatalf("QUERY far-future epoch: err = %v, want history range error", err)
+	}
+}

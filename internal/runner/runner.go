@@ -62,6 +62,11 @@ type Plane struct {
 	results map[string]map[uint64]json.RawMessage // runner -> epoch -> result
 	order   map[string][]uint64                   // insertion order, for eviction
 	latest  map[string]uint64
+	// hist, when set, backs queries for epochs evicted from (or never in)
+	// the in-memory result maps; histRunners mints the throwaway runner a
+	// disk replay drives. See SetHistory.
+	hist        HistorySource
+	histRunners func() []Runner
 
 	telRun map[string]*telemetry.Histogram
 }
@@ -168,26 +173,30 @@ func (p *Plane) step(r Runner, epoch uint64, g *graph.Graph) {
 // stream has been flushed so partial-bucket roll-ups become readable.
 func (p *Plane) Seal() { p.tl.Seal() }
 
-// Query returns the retained result of the named analysis at the given
-// epoch (0 means latest). The returned epoch identifies which snapshot
-// answered, so "latest" responses are attributable and re-queryable.
+// Query returns the result of the named analysis at the given epoch (0
+// means latest). The returned epoch identifies which snapshot answered,
+// so "latest" responses are attributable and re-queryable. Epochs evicted
+// from the in-memory retention fall through to the history store, which
+// re-derives the identical bytes by replaying the recorded windows
+// through a fresh runner.
 func (p *Plane) Query(name string, epoch uint64) (uint64, json.RawMessage, error) {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
 	byEpoch, ok := p.results[name]
 	if !ok {
+		p.mu.RUnlock()
 		return 0, nil, fmt.Errorf("unknown analysis %q (have %v)", name, p.Runners())
 	}
 	if epoch == 0 {
 		epoch, ok = p.latest[name], p.latest[name] != 0
 		if !ok {
+			p.mu.RUnlock()
 			return 0, nil, fmt.Errorf("analysis %q has no completed window yet", name)
 		}
 	}
 	res, ok := byEpoch[epoch]
+	p.mu.RUnlock()
 	if !ok {
-		return 0, nil, fmt.Errorf("analysis %q has no result at epoch %d (retained %d epochs)",
-			name, epoch, len(byEpoch))
+		return p.queryDisk(name, epoch)
 	}
 	return epoch, res, nil
 }

@@ -333,39 +333,84 @@ func (r *byteReader) u64() uint64 {
 	return binary.LittleEndian.Uint64(b)
 }
 
-// Open reads a store file and returns all windows in file order. Use Range
-// to restrict by time.
-func Open(path string) ([]*graph.Graph, error) {
+// EncodeGraph serializes one window graph in the store's record layout
+// (see encodeGraph for the byte-level format). Exported so other on-disk
+// forms — the epoch-indexed history store in internal/histstore — reuse
+// one codec instead of inventing a second graph serialization.
+func EncodeGraph(g *graph.Graph) []byte { return encodeGraph(g) }
+
+// DecodeGraph is the inverse of EncodeGraph. The returned graph is
+// map-backed; callers retaining it long-term should Freeze it.
+func DecodeGraph(b []byte) (*graph.Graph, error) { return decodeGraph(b) }
+
+// Reader streams windows out of a store file one at a time, so replaying
+// days of history holds one window in memory rather than the whole file.
+// Open and Range are reimplemented on top of it.
+type Reader struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+// OpenReader opens a store file for streaming reads, validating the
+// header. The caller owns Close.
+func OpenReader(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	br := bufio.NewReaderSize(f, 256<<10)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil || got != magic {
+		//lint:allow errdrop best-effort cleanup; ErrBadFormat is the error the caller needs
+		f.Close()
 		return nil, ErrBadFormat
 	}
 	if _, err := io.CopyN(io.Discard, br, 8); err != nil {
+		//lint:allow errdrop best-effort cleanup; ErrBadFormat is the error the caller needs
+		f.Close()
 		return nil, ErrBadFormat
 	}
+	return &Reader{f: f, br: br}, nil
+}
+
+// Next returns the next window in file order, or io.EOF at a clean end of
+// file. A record cut off mid-body reports ErrBadFormat.
+func (r *Reader) Next() (*graph.Graph, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err == io.EOF {
+		return nil, io.EOF
+	} else if err != nil {
+		return nil, ErrBadFormat
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > 1<<31 {
+		return nil, ErrBadFormat
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return nil, fmt.Errorf("%w: truncated window", ErrBadFormat)
+	}
+	return decodeGraph(body)
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Open reads a store file and returns all windows in file order. Use Range
+// to restrict by time, or OpenReader to stream without materializing the
+// slice.
+func Open(path string) ([]*graph.Graph, error) {
+	r, err := OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
 	var out []*graph.Graph
 	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(br, hdr[:]); err == io.EOF {
+		g, err := r.Next()
+		if err == io.EOF {
 			return out, nil
-		} else if err != nil {
-			return nil, ErrBadFormat
 		}
-		n := binary.LittleEndian.Uint32(hdr[:])
-		if n > 1<<31 {
-			return nil, ErrBadFormat
-		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return nil, fmt.Errorf("%w: truncated window", ErrBadFormat)
-		}
-		g, err := decodeGraph(body)
 		if err != nil {
 			return nil, err
 		}
@@ -373,17 +418,25 @@ func Open(path string) ([]*graph.Graph, error) {
 	}
 }
 
-// Range loads only the windows overlapping [from, to).
+// Range loads only the windows overlapping [from, to), streaming the file
+// so out-of-range windows are never retained.
 func Range(path string, from, to time.Time) ([]*graph.Graph, error) {
-	all, err := Open(path)
+	r, err := OpenReader(path)
 	if err != nil {
 		return nil, err
 	}
+	defer r.Close()
 	var out []*graph.Graph
-	for _, g := range all {
+	for {
+		g, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
 		if g.End.After(from) && g.Start.Before(to) {
 			out = append(out, g)
 		}
 	}
-	return out, nil
 }

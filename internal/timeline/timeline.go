@@ -301,6 +301,24 @@ func (t *Timeline) At(epoch uint64) *Snapshot {
 	return nil
 }
 
+// EpochAt resolves a wall-clock instant to the epoch of the retained
+// window whose [Start, End) covers it, or false when no retained window
+// does (evicted epochs resolve through the durable history instead).
+func (t *Timeline) EpochAt(at time.Time) (uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := len(t.history) - 1; i >= 0; i-- {
+		s := t.history[i]
+		if s.Window == nil {
+			continue
+		}
+		if !s.Window.Start.After(at) && s.Window.End.After(at) {
+			return s.Epoch, true
+		}
+	}
+	return 0, false
+}
+
 // Epochs returns the addressable epoch range [oldest, newest], or (0, 0)
 // when the history is empty.
 func (t *Timeline) Epochs() (oldest, newest uint64) {
