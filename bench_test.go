@@ -27,6 +27,7 @@ import (
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
 	"cloudgraph/internal/trace"
+	"cloudgraph/internal/watermark"
 	"net/netip"
 )
 
@@ -328,6 +329,50 @@ func BenchmarkEngineIngestTelemetry(b *testing.B) {
 	}
 	b.Run("telemetry=off", func(b *testing.B) { run(b, nil) })
 	b.Run("telemetry=on", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
+}
+
+// BenchmarkEngineIngestWatermarks measures the watermark-accounting tax on
+// the engine's ingest hot path: tracker off versus on (with an SLO-tracked
+// stage riding a bus consumer, the cloudgraphd shape). Per window the cost
+// is one ring store plus two CAS-max bumps on seal, and one CAS loop per
+// stage advance — all off the per-record path, so the ratio must stay
+// within the same ≤10% budget as telemetry
+// (TestTelemetryOverheadWithinBudget's watermarks gate enforces it).
+func BenchmarkEngineIngestWatermarks(b *testing.B) {
+	loadFixtures(b)
+	recs := fixK8s.records
+	const batch = 4096
+	run := func(b *testing.B, wm *watermark.Tracker) {
+		cfg := core.Config{Window: time.Hour, Shards: 4, Watermarks: wm}
+		if wm != nil {
+			st := wm.Stage("analyzed.bench", true)
+			cfg.Consumers = []core.ConsumerSpec{{
+				Name: "bench",
+				Fn:   func(epoch uint64, _ *graph.Graph) { st.Advance(epoch) },
+			}}
+		}
+		e := core.NewEngine(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := i * batch % len(recs)
+			end := off + batch
+			if end > len(recs) {
+				end = len(recs)
+			}
+			e.Ingest(recs[off:end])
+		}
+		b.StopTimer()
+		if len(e.Flush()) == 0 {
+			b.Fatal("no windows completed")
+		}
+		e.Close()
+		b.ReportMetric(float64(int64(batch)*int64(b.N))/b.Elapsed().Seconds(), "records/s")
+	}
+	b.Run("watermarks=off", func(b *testing.B) { run(b, nil) })
+	b.Run("watermarks=on", func(b *testing.B) {
+		run(b, watermark.New(watermark.Config{FreshnessTarget: 5 * time.Second}))
+	})
 }
 
 // BenchmarkEngineIngestTracing measures the tracing tax on the engine's

@@ -54,21 +54,34 @@ func buildDaemon(t *testing.T) string {
 	return bin
 }
 
-var listenRE = regexp.MustCompile(`listening on (\S+)`)
+var (
+	listenRE = regexp.MustCompile(`listening on (\S+)`)
+	opsRE    = regexp.MustCompile(`ops endpoint on http://(\S+)`)
+)
 
 // daemon is one running cloudgraphd under test control.
 type daemon struct {
-	cmd  *exec.Cmd
-	addr string
+	cmd     *exec.Cmd
+	addr    string
+	opsAddr string // empty unless started with withOps
 }
 
 // startDaemon launches the binary against dataDir and waits for its
-// listen address on stderr.
-func startDaemon(t *testing.T, bin, dataDir string, traceSample int) *daemon {
+// listen address on stderr. Pass withOps to also bind the ops HTTP
+// endpoint (on a random port) and wait for its address too.
+const withOps = "with-ops"
+
+func startDaemon(t *testing.T, bin, dataDir string, traceSample int, opts ...string) *daemon {
 	t.Helper()
+	opsArg := ""
+	for _, opt := range opts {
+		if opt == withOps {
+			opsArg = "127.0.0.1:0"
+		}
+	}
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
-		"-ops", "",
+		"-ops", opsArg,
 		"-window", "1m",
 		"-data-dir", dataDir,
 		"-history-retention", "48h",
@@ -82,6 +95,7 @@ func startDaemon(t *testing.T, bin, dataDir string, traceSample int) *daemon {
 		t.Fatalf("start %s: %v", bin, err)
 	}
 	addrCh := make(chan string, 1)
+	opsCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
@@ -91,19 +105,31 @@ func startDaemon(t *testing.T, bin, dataDir string, traceSample int) *daemon {
 				default:
 				}
 			}
+			if m := opsRE.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case opsCh <- m[1]:
+				default:
+				}
+			}
 		}
 	}()
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() { d.kill() })
 	select {
-	case addr := <-addrCh:
-		d := &daemon{cmd: cmd, addr: addr}
-		t.Cleanup(func() { d.kill() })
-		return d
+	case d.addr = <-addrCh:
 	case <-time.After(30 * time.Second):
-		d := &daemon{cmd: cmd}
 		d.kill()
 		t.Fatal("daemon never reported its listen address")
-		return nil
 	}
+	if opsArg != "" {
+		select {
+		case d.opsAddr = <-opsCh:
+		case <-time.After(30 * time.Second):
+			d.kill()
+			t.Fatal("daemon never reported its ops address")
+		}
+	}
+	return d
 }
 
 // kill delivers SIGKILL — the crash under test — and reaps the process.

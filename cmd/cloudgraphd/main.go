@@ -37,23 +37,30 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cloudgraph/internal/analytics"
 	"cloudgraph/internal/core"
+	"cloudgraph/internal/diag"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/histstore"
 	"cloudgraph/internal/runner"
+	"cloudgraph/internal/statusz"
 	"cloudgraph/internal/store"
 	"cloudgraph/internal/telemetry"
 	"cloudgraph/internal/timeline"
 	"cloudgraph/internal/trace"
+	"cloudgraph/internal/watermark"
 )
 
 // parseLogLevel maps the -log-level flag onto slog levels.
@@ -91,6 +98,9 @@ func main() {
 		retention   = flag.Int("retention", 96, "timeline window snapshots retained")
 		dataDir     = flag.String("data-dir", "", "durable history directory: completed windows are appended to an epoch-indexed segment store, replayed on restart, and served by QUERY past the in-memory retention (empty disables)")
 		histRet     = flag.Duration("history-retention", 24*time.Hour, "how long the history store keeps window-resolution records before compacting them into hour roll-ups")
+		freshSLO    = flag.Duration("freshness-slo", 5*time.Second, "per-window freshness target: seal-to-analyzed (and seal-to-durable) latency beyond this burns the SLO budget (0 disables SLO accounting; watermarks stay on)")
+		burnTrip    = flag.Int("slo-burn-trip", 3, "consecutive SLO-burned windows on one stage before an anomaly trip (diagnostic bundle)")
+		diagMax     = flag.Int("diag-max", 8, "diagnostic bundles retained under <data-dir>/diag before the oldest are removed")
 	)
 	flag.Parse()
 
@@ -109,7 +119,30 @@ func main() {
 	})
 
 	reg := telemetry.NewRegistry()
-	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers, Telemetry: reg, Trace: tr}
+	telemetry.BuildInfo(reg,
+		telemetry.Label{Key: "shards", Value: strconv.Itoa(*workers)},
+		telemetry.Label{Key: "flags", Value: fmt.Sprintf("window=%v collapse=%g facet=%s live=%v freshness-slo=%v", *window, *collapse, *facet, *live, *freshSLO)})
+
+	// The watermark tracker observes the pipeline's per-stage epoch
+	// progress: the engine marks windows sealed, the plane's consumers
+	// advance published/analyzed stages, the history consumer the durable
+	// stage. A stage falling -freshness-slo behind the seal burns the SLO
+	// budget; -slo-burn-trip consecutive burns fire OnBurn, which (like a
+	// flight-recorder trip) captures a diagnostic bundle. diagM is assigned
+	// before the daemon starts serving, so the callbacks — which can only
+	// fire once ingest is underway — always see the final value.
+	var diagM *diag.Manager
+	var statusSrc atomic.Pointer[statusz.Sources]
+	wm := watermark.New(watermark.Config{
+		FreshnessTarget: *freshSLO,
+		Trip:            *burnTrip,
+		OnBurn: func(stage string, epoch, consecutive uint64) {
+			diagM.TriggerAsync(fmt.Sprintf("freshness SLO burn: stage %s %d windows behind target at epoch %d", stage, consecutive, epoch))
+		},
+	})
+	wm.Instrument(reg)
+
+	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers, Telemetry: reg, Trace: tr, Watermarks: wm}
 	switch *facet {
 	case "ip":
 		cfg.Facet = graph.FacetIP
@@ -150,7 +183,7 @@ func main() {
 		if *rollup == 0 {
 			tcfg.Rollup = -1
 		}
-		plane = runner.New(runner.Config{Timeline: tcfg, Telemetry: reg, Trace: tr})
+		plane = runner.New(runner.Config{Timeline: tcfg, Telemetry: reg, Trace: tr, Watermarks: wm})
 		cfg.Consumers = plane.Consumers()
 		log.Printf("analysis plane on: %v (rollup=%v retention=%d)", plane.Runners(), *rollup, *retention)
 	}
@@ -161,12 +194,14 @@ func main() {
 	// runner plane, and compacted into hour roll-ups once it ages past
 	// -history-retention. QUERY falls through to it for epochs older than
 	// the in-memory retention.
+	var hs *histstore.Store
 	if *dataDir != "" {
 		hcfg := histstore.Options{Retention: *histRet}
 		if *rollup > 0 {
 			hcfg.RollupBucket = *rollup
 		}
-		hs, err := histstore.Open(*dataDir, hcfg)
+		var err error
+		hs, err = histstore.Open(*dataDir, hcfg)
 		if err != nil {
 			log.Fatalf("history store: %v", err)
 		}
@@ -185,19 +220,52 @@ func main() {
 			plane.SetHistory(hs, nil)
 		}
 		cfg.StartEpoch = hs.LastEpoch()
+		// Register the durable stage, then fast-forward every watermark to
+		// the recovered epoch: replayed windows were sealed in a previous
+		// life and must not count as latency or burned budget.
+		wmDurable := wm.Stage("durable", true)
+		wm.Resume(cfg.StartEpoch)
 		cfg.Consumers = append(cfg.Consumers, core.ConsumerSpec{
 			Name:   "history",
 			Buffer: 256,
 			Fn: func(epoch uint64, g *graph.Graph) {
 				if err := hs.Append(epoch, g); err != nil {
 					log.Printf("history append: %v", err)
+					return
 				}
+				wmDurable.Advance(epoch)
 			},
 		})
 		stopCompact := hs.StartCompactor(time.Minute)
 		defer stopCompact()
 		log.Printf("durable history in %s (recovered %d windows, resuming at epoch %d, retention=%v)",
 			*dataDir, recovered, cfg.StartEpoch, *histRet)
+
+		// Anomaly diagnostic bundles ride the durable directory: a flight
+		// -recorder trip or an SLO burn trip snapshots the flight ring,
+		// profiles, traces, metrics and status under <data-dir>/diag.
+		diagM, err = diag.New(diag.Config{
+			Dir:        filepath.Join(*dataDir, "diag"),
+			MaxBundles: *diagMax,
+			Flight:     tr.Flight(),
+			Traces:     tr.Recorder(),
+			Registry:   reg,
+			// The status sources are only fully assembled once the engine
+			// is serving; until then a bundle's status.json is empty.
+			Status: func() ([]byte, error) {
+				if s := statusSrc.Load(); s != nil {
+					return s.JSON()
+				}
+				return []byte("{}\n"), nil
+			},
+		})
+		if err != nil {
+			log.Fatalf("diag: %v", err)
+		}
+		tr.Flight().SetOnTrip(func(component, reason string) {
+			diagM.TriggerAsync("flight trip: " + component + ": " + reason)
+		})
+		log.Printf("diagnostic bundles in %s (max %d)", filepath.Join(*dataDir, "diag"), *diagMax)
 	}
 
 	srv, err := analytics.ServeWith(*addr, cfg, analytics.Options{Plane: plane})
@@ -207,18 +275,31 @@ func main() {
 	log.Printf("listening on %s (window=%v facet=%s collapse=%g workers=%d trace-sample=%d)",
 		srv.Addr(), *window, *facet, *collapse, *workers, *traceSample)
 
+	sources := statusz.Sources{
+		Watermarks: wm,
+		Bus:        srv.Engine().Bus(),
+		Hist:       hs,
+		Flight:     tr.Flight(),
+		Diag:       diagM,
+		Start:      time.Now(),
+	}
+	statusSrc.Store(&sources)
+
 	if *opsAddr != "" {
 		ops, err := telemetry.ServeOps(*opsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer ops.Close()
-		ops.Handle("/graphz", analytics.GraphzHandler(srv.Engine()))
-		ops.Handle("/tracez", trace.TracezHandler(tr.Recorder()))
-		ops.Handle("/flightz", trace.FlightzHandler(tr.Flight()))
-		views := "/metrics /healthz /debug/pprof/ /graphz /tracez /flightz"
+		// HandleView wraps each view in the shared GET/HEAD-or-405 contract;
+		// only /debug/pprof/ stays outside it (pprof.Symbol accepts POST).
+		ops.HandleView("/graphz", analytics.GraphzHandler(srv.Engine()))
+		ops.HandleView("/tracez", trace.TracezHandler(tr.Recorder()))
+		ops.HandleView("/flightz", trace.FlightzHandler(tr.Flight()))
+		ops.HandleView("/statusz", statusz.Handler(sources))
+		views := "/metrics /healthz /debug/pprof/ /graphz /tracez /flightz /statusz"
 		if plane != nil {
-			ops.Handle("/analyz", plane.AnalyzHandler())
+			ops.HandleView("/analyz", plane.AnalyzHandler())
 			views += " /analyz"
 		}
 		log.Printf("ops endpoint on http://%s (%s)", ops.Addr(), views)

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/statusz"
+)
+
+// getStatus fetches and decodes /statusz?format=json from a daemon's ops
+// endpoint.
+func getStatus(t *testing.T, opsAddr string) statusz.Status {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + opsAddr + "/statusz?format=json")
+	if err != nil {
+		t.Fatalf("GET /statusz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statusz = %d", resp.StatusCode)
+	}
+	var st statusz.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding /statusz: %v", err)
+	}
+	return st
+}
+
+// TestStatuszWatermarksSurviveRestart kills a daemon mid-stream with
+// SIGKILL and asserts the restarted daemon's /statusz watermarks agree
+// with the history store's durable epoch range: every stage resumes at
+// the recovered epoch (replayed windows are not re-analyzed latency), and
+// after the rest of the stream the durable watermark tracks the store's
+// newest epoch again.
+func TestStatuszWatermarksSurviveRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real daemons")
+	}
+	bin := buildDaemon(t)
+	recs := crashStream(t)
+	cut := sort.Search(len(recs), func(i int) bool {
+		return !recs[i].Time.Before(streamStart.Add(30 * time.Minute))
+	})
+
+	dataDir := filepath.Join(t.TempDir(), "hist")
+	a := startDaemon(t, bin, dataDir, 0, withOps)
+	feed(t, a.addr, recs[:cut])
+	before := getStatus(t, a.opsAddr)
+	if before.Watermarks == nil || before.Hist == nil {
+		t.Fatalf("pre-crash status missing sections: %+v", before)
+	}
+	if before.Watermarks.Sealed == 0 {
+		t.Fatal("no windows sealed before the crash")
+	}
+	// FLUSH drains the bus, so the durable watermark has caught the seal
+	// and the store's newest epoch matches both.
+	if before.Hist.NewestEpoch != before.Watermarks.Sealed {
+		t.Errorf("pre-crash: histstore newest %d != sealed watermark %d",
+			before.Hist.NewestEpoch, before.Watermarks.Sealed)
+	}
+	a.kill()
+
+	b := startDaemon(t, bin, dataDir, 0, withOps)
+	after := getStatus(t, b.opsAddr)
+	if after.Watermarks == nil || after.Hist == nil {
+		t.Fatalf("post-restart status missing sections: %+v", after)
+	}
+	// The resumed watermarks must agree with the durable ground truth: the
+	// seal picks up at the store's newest epoch, ingest at the next one,
+	// and every stage is fast-forwarded (replayed windows owe no latency).
+	if after.Watermarks.Sealed != after.Hist.NewestEpoch {
+		t.Errorf("post-restart: sealed watermark %d != histstore newest %d",
+			after.Watermarks.Sealed, after.Hist.NewestEpoch)
+	}
+	if after.Watermarks.Sealed != before.Hist.NewestEpoch {
+		t.Errorf("post-restart sealed %d, but the store held %d at the crash",
+			after.Watermarks.Sealed, before.Hist.NewestEpoch)
+	}
+	if after.Watermarks.Ingested != after.Watermarks.Sealed+1 {
+		t.Errorf("post-restart ingested %d, want sealed+1 = %d",
+			after.Watermarks.Ingested, after.Watermarks.Sealed+1)
+	}
+	for _, st := range after.Watermarks.Stages {
+		if st.Epoch != after.Watermarks.Sealed {
+			t.Errorf("stage %s resumed at epoch %d, want %d", st.Name, st.Epoch, after.Watermarks.Sealed)
+		}
+		if st.Burned != 0 {
+			t.Errorf("stage %s burned %d windows during replay; recovery must not burn budget", st.Name, st.Burned)
+		}
+	}
+
+	// Finish the stream: the watermarks advance past the recovered epoch
+	// and the durable stage tracks the store again.
+	feed(t, b.addr, recs[cut:])
+	final := getStatus(t, b.opsAddr)
+	if final.Watermarks.Sealed <= after.Watermarks.Sealed {
+		t.Errorf("sealed watermark stuck at %d after feeding the second half", final.Watermarks.Sealed)
+	}
+	if final.Watermarks.Sealed != final.Hist.NewestEpoch {
+		t.Errorf("final: sealed %d != histstore newest %d", final.Watermarks.Sealed, final.Hist.NewestEpoch)
+	}
+	durable := false
+	for _, st := range final.Watermarks.Stages {
+		if st.Name == "durable" {
+			durable = true
+			if st.Epoch != final.Hist.NewestEpoch {
+				t.Errorf("durable watermark %d != histstore newest %d", st.Epoch, final.Hist.NewestEpoch)
+			}
+		}
+	}
+	if !durable {
+		t.Error("no durable stage in /statusz watermarks")
+	}
+	b.stop(t)
+}

@@ -19,6 +19,7 @@
 //	graphctl attribution file.flows
 //	graphctl archive    [-window 1h] -store windows.cg file.flows
 //	graphctl history    [-from t] [-to t] windows.cg
+//	graphctl top        [-ops host:port] [-interval 2s]
 //
 // Files may be binary (flowgen default), CSV (.csv suffix), or Azure NSG
 // flow log v2 exports (.json suffix).
@@ -91,13 +92,15 @@ func main() {
 		cmdArchive(args)
 	case "history":
 		cmdHistory(args)
+	case "top":
+		cmdTop(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: graphctl {stats|segment|policy|summarize|heatmap|ccdf|pca|dot|plan|send|query|diff|windows|attribution|archive|history} [flags] <file>")
+	fmt.Fprintln(os.Stderr, "usage: graphctl {stats|segment|policy|summarize|heatmap|ccdf|pca|dot|plan|send|query|diff|windows|attribution|archive|history|top} [flags] <file>")
 	os.Exit(2)
 }
 

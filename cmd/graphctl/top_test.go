@@ -1,0 +1,59 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/statusz"
+	"cloudgraph/internal/watermark"
+)
+
+// TestTopFetchAndRender drives the poll-and-draw path against a live
+// statusz handler: graphctl top must decode what the daemon serves.
+func TestTopFetchAndRender(t *testing.T) {
+	wm := watermark.New(watermark.Config{FreshnessTarget: time.Second})
+	stage := wm.Stage("analyzed.segment", true)
+	wm.Ingested(1)
+	wm.Sealed(1, time.Now())
+	stage.Advance(1)
+	wm.Ingested(2)
+	wm.Sealed(2, time.Now())
+
+	srv := httptest.NewServer(statusz.Handler(statusz.Sources{
+		Watermarks: wm,
+		Start:      time.Now().Add(-90 * time.Second),
+	}))
+	defer srv.Close()
+
+	st, err := fetchStatus(&http.Client{Timeout: time.Second}, srv.URL+"/statusz?format=json")
+	if err != nil {
+		t.Fatalf("fetchStatus: %v", err)
+	}
+	if st.Watermarks == nil || st.Watermarks.Sealed != 2 {
+		t.Fatalf("decoded watermarks = %+v, want sealed epoch 2", st.Watermarks)
+	}
+
+	var buf strings.Builder
+	renderTop(&buf, st, srv.URL)
+	out := buf.String()
+	for _, want := range []string{"sealed 2", "analyzed.segment", "SLO budget", "lag"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard frame missing %q:\n%s", want, out)
+		}
+	}
+	// The analyzed stage sits at epoch 1 with epoch 2 sealed: lag 1.
+	if !strings.Contains(out, "*analyzed.segment") {
+		t.Errorf("SLO stage not starred:\n%s", out)
+	}
+}
+
+func TestRenderTopEmptyStatus(t *testing.T) {
+	var buf strings.Builder
+	renderTop(&buf, statusz.Status{Time: time.Now()}, "http://x/statusz")
+	if !strings.Contains(buf.String(), "empty status") {
+		t.Errorf("empty frame = %q", buf.String())
+	}
+}

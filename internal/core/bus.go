@@ -3,6 +3,7 @@ package core
 import (
 	"log/slog"
 	"sync"
+	"sync/atomic"
 
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/telemetry"
@@ -65,6 +66,11 @@ type busConsumer struct {
 	depth     *telemetry.Gauge
 	drops     *telemetry.Counter
 	delivered *telemetry.Counter
+
+	// Plain counters mirror the telemetry handles so Bus.Stats (the
+	// /statusz view) works with telemetry disabled too.
+	dropsN     atomic.Uint64
+	deliveredN atomic.Uint64
 }
 
 func newBusConsumer(spec ConsumerSpec, buffer int) *busConsumer {
@@ -101,6 +107,7 @@ func (c *busConsumer) publish(epoch uint64, g *graph.Graph) (dropped bool) {
 	c.mu.Unlock()
 	if dropped {
 		c.drops.Add(1)
+		c.dropsN.Add(1)
 	}
 	return dropped
 }
@@ -127,6 +134,7 @@ func (c *busConsumer) loop() {
 		c.mu.Unlock()
 		c.fn(it.epoch, it.g)
 		c.delivered.Add(1)
+		c.deliveredN.Add(1)
 		c.mu.Lock()
 		c.busy = false
 		c.cond.Broadcast() // wake drain waiters
@@ -262,6 +270,37 @@ func (b *Bus) Consumers() []string {
 	out := make([]string, len(b.consumers))
 	for i, c := range b.consumers {
 		out[i] = c.name
+	}
+	return out
+}
+
+// ConsumerStat is one bus consumer's point-in-time accounting — the
+// /statusz row.
+type ConsumerStat struct {
+	Name      string `json:"name"`
+	Depth     int    `json:"depth"`
+	Capacity  int    `json:"capacity"`
+	Dropped   uint64 `json:"dropped"`
+	Delivered uint64 `json:"delivered"`
+}
+
+// Stats returns per-consumer depth, capacity and drop/delivery totals in
+// subscription order. Unlike the telemetry handles these always count, so
+// the view works on an uninstrumented engine.
+func (b *Bus) Stats() []ConsumerStat {
+	consumers := b.snapshot()
+	out := make([]ConsumerStat, len(consumers))
+	for i, c := range consumers {
+		c.mu.Lock()
+		depth := len(c.queue)
+		c.mu.Unlock()
+		out[i] = ConsumerStat{
+			Name:      c.name,
+			Depth:     depth,
+			Capacity:  c.cap,
+			Dropped:   c.dropsN.Load(),
+			Delivered: c.deliveredN.Load(),
+		}
 	}
 	return out
 }

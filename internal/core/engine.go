@@ -17,6 +17,7 @@ import (
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
 	"cloudgraph/internal/trace"
+	"cloudgraph/internal/watermark"
 )
 
 // Config parameterizes an Engine.
@@ -78,6 +79,13 @@ type Config struct {
 	// epoch recovered from its history store so epochs keep ascending
 	// across the crash instead of restarting from 1.
 	StartEpoch uint64
+	// Watermarks, when set, receives the engine's epoch progress: the
+	// ingested watermark (the window the stream is currently filling)
+	// advances on every window-start move, and each published window's
+	// seal is recorded so downstream stages can account seal-to-stage
+	// freshness. Nil disables watermarking for the cost of a branch, like
+	// Telemetry and Trace.
+	Watermarks *watermark.Tracker
 }
 
 func (c *Config) defaults() {
@@ -283,6 +291,10 @@ func (e *Engine) onWindow(g *graph.Graph, traces []trace.Context) {
 		"window %s completed: %d nodes, %d edges, %d sampled traces",
 		g.Start.UTC().Format(time.RFC3339), g.NumNodes(), g.NumEdges(), len(traces))
 	epoch := e.epoch.Add(1)
+	// Record the seal before any consumer can see the window: a stage
+	// advancing past this epoch must find its seal time already in the
+	// tracker's ring, or its freshness accounting would miss the window.
+	e.cfg.Watermarks.Sealed(epoch, time.Now())
 	e.bus.publish(epoch, g)
 }
 
@@ -439,6 +451,10 @@ func (e *Engine) closeShards(cutoff time.Time, flush bool) {
 	elapsed := time.Since(start)
 	e.mergeNS.Add(int64(elapsed))
 	e.tel.merge.ObserveEx(elapsed.Seconds(), exemplar)
+	// The stream is now filling the window one past everything sealed;
+	// that is the ingested watermark. Serialized by closeMu, so it never
+	// races a concurrent seal's epoch increment.
+	e.cfg.Watermarks.Ingested(e.epoch.Load() + 1)
 }
 
 // flushLagTripWindows is the arrears threshold that trips the flight

@@ -1,0 +1,357 @@
+// Package diag writes anomaly diagnostic bundles: when the flight
+// recorder trips or the freshness SLO burns for consecutive windows, one
+// timestamped directory captures everything a post-hoc investigation
+// needs — the flight ring's pre-fault event window, CPU and heap pprof
+// snapshots, recent trace waterfalls, the full metrics exposition and the
+// /statusz watermark snapshot. Bundles land under <dir> (cloudgraphd uses
+// -data-dir/diag), capped in count so a recurring fault cannot fill the
+// disk, and rate-limited so an anomaly storm produces one bundle, not
+// hundreds.
+//
+// Trigger never blocks the calling path: the caller's goroutine only
+// checks the rate limit and a single in-flight flag; collection and disk
+// writes happen on a background goroutine. Bundles are written into a
+// hidden temp directory and renamed into place, so a crash mid-write
+// never leaves a half bundle where tooling would list it.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
+)
+
+// Config parameterizes a Manager. Dir is required; every source is
+// optional — absent sources write placeholder notes so a bundle's shape
+// is stable.
+type Config struct {
+	// Dir is where bundles are written (created if missing).
+	Dir string
+	// MaxBundles caps how many bundles are retained, oldest removed first
+	// (default 8).
+	MaxBundles int
+	// MinGap rate-limits bundle creation (default 1 minute).
+	MinGap time.Duration
+	// CPUProfile is how long the bundled CPU profile samples (default 1s;
+	// the collection goroutine sleeps through it, not the trigger path).
+	CPUProfile time.Duration
+	// Flight, when set, contributes the pre-fault event window.
+	Flight *trace.Flight
+	// Traces, when set, contributes recent trace waterfalls.
+	Traces *trace.Recorder
+	// Registry, when set, contributes the Prometheus metrics snapshot.
+	Registry *telemetry.Registry
+	// Status, when set, contributes the /statusz JSON snapshot.
+	Status func() ([]byte, error)
+}
+
+func (c *Config) defaults() {
+	if c.MaxBundles <= 0 {
+		c.MaxBundles = 8
+	}
+	if c.MinGap <= 0 {
+		c.MinGap = time.Minute
+	}
+	if c.CPUProfile <= 0 {
+		c.CPUProfile = time.Second
+	}
+}
+
+// Manager writes and retains diagnostic bundles. All methods are safe for
+// concurrent use and on a nil receiver (the disabled state when no data
+// dir is configured).
+type Manager struct {
+	cfg Config
+
+	last    atomic.Int64 // unix nanos of the last accepted trigger
+	inFlite atomic.Bool  // a collection goroutine is running
+
+	// writeMu serializes the actual bundle writes (collection goroutines
+	// and synchronous test triggers).
+	writeMu sync.Mutex
+
+	written atomic.Uint64
+	dropped atomic.Uint64 // triggers suppressed by rate limit or in-flight
+}
+
+// New returns a Manager writing bundles under cfg.Dir, creating it as
+// needed.
+func New(cfg Config) (*Manager, error) {
+	cfg.defaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("diag: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diag: %w", err)
+	}
+	return &Manager{cfg: cfg}, nil
+}
+
+// TriggerAsync requests a bundle for reason and returns immediately. The
+// trigger is dropped when one is already being collected or the rate
+// limit has not elapsed — an anomaly storm yields one bundle.
+func (m *Manager) TriggerAsync(reason string) {
+	if m == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := m.last.Load()
+	if now-last < int64(m.cfg.MinGap) || !m.last.CompareAndSwap(last, now) {
+		m.dropped.Add(1)
+		return
+	}
+	if !m.inFlite.CompareAndSwap(false, true) {
+		m.dropped.Add(1)
+		return
+	}
+	go func() {
+		defer m.inFlite.Store(false)
+		if _, err := m.write(reason, time.Now()); err != nil {
+			log.Printf("diag: bundle for %q failed: %v", reason, err)
+		}
+	}()
+}
+
+// Trigger writes a bundle synchronously, bypassing the rate limit — the
+// test and tooling entry point. It returns the bundle directory path.
+func (m *Manager) Trigger(reason string) (string, error) {
+	if m == nil {
+		return "", fmt.Errorf("diag: disabled")
+	}
+	m.last.Store(time.Now().UnixNano())
+	return m.write(reason, time.Now())
+}
+
+// manifest is the bundle's machine-readable index.
+type manifest struct {
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+	Files  []string  `json:"files"`
+	Errors []string  `json:"errors,omitempty"`
+}
+
+// write collects every source into a fresh bundle directory. Sections are
+// independent: a failing source records its error in the manifest and the
+// rest of the bundle still lands.
+func (m *Manager) write(reason string, at time.Time) (string, error) {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+
+	name := "diag-" + at.UTC().Format("20060102T150405.000Z") + "-" + slug(reason)
+	tmp := filepath.Join(m.cfg.Dir, ".tmp-"+name)
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp) // no-op after the successful rename
+
+	man := manifest{Time: at.UTC(), Reason: reason}
+	emit := func(file string, fn func(path string) error) {
+		path := filepath.Join(tmp, file)
+		if err := fn(path); err != nil {
+			man.Errors = append(man.Errors, file+": "+err.Error())
+			return
+		}
+		man.Files = append(man.Files, file)
+	}
+
+	emit("reason.txt", func(path string) error {
+		body := fmt.Sprintf("reason: %s\ntime: %s\ngo: %s\ngomaxprocs: %d\ngoroutines: %d\n",
+			reason, at.UTC().Format(time.RFC3339Nano), runtime.Version(), runtime.GOMAXPROCS(0), runtime.NumGoroutine())
+		return os.WriteFile(path, []byte(body), 0o644)
+	})
+	emit("flight.txt", func(path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if m.cfg.Flight == nil {
+			_, err := f.WriteString("flight recorder disabled\n")
+			return err
+		}
+		return m.cfg.Flight.Dump(f)
+	})
+	emit("traces.txt", func(path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return trace.WriteWaterfalls(f, m.cfg.Traces)
+	})
+	emit("metrics.prom", func(path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if m.cfg.Registry == nil {
+			_, err := f.WriteString("# telemetry disabled\n")
+			return err
+		}
+		return m.cfg.Registry.WritePrometheus(f)
+	})
+	emit("status.json", func(path string) error {
+		if m.cfg.Status == nil {
+			return os.WriteFile(path, []byte(`{"error":"statusz disabled"}`+"\n"), 0o644)
+		}
+		body, err := m.cfg.Status()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, body, 0o644)
+	})
+	emit("heap.pprof", func(path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // get up-to-date allocation accounting into the profile
+		return pprof.Lookup("heap").WriteTo(f, 0)
+	})
+	emit("cpu.pprof", func(path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			// Another profiler is active (e.g. an operator on
+			// /debug/pprof/profile); theirs wins.
+			return err
+		}
+		time.Sleep(m.cfg.CPUProfile)
+		pprof.StopCPUProfile()
+		return nil
+	})
+
+	manBytes, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "bundle.json"), append(manBytes, '\n'), 0o644); err != nil {
+		return "", err
+	}
+
+	final := filepath.Join(m.cfg.Dir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		return "", err
+	}
+	m.written.Add(1)
+	m.enforceRetention()
+	return final, nil
+}
+
+// slug compresses reason into a filesystem-safe suffix.
+func slug(reason string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(reason) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	s := strings.TrimSuffix(b.String(), "-")
+	if s == "" {
+		return "anomaly"
+	}
+	return s
+}
+
+// enforceRetention removes the oldest bundles beyond MaxBundles. Bundle
+// names start with the timestamp, so lexical order is chronological.
+func (m *Manager) enforceRetention() {
+	names := m.bundleNames()
+	for i := 0; i+m.cfg.MaxBundles < len(names); i++ {
+		if err := os.RemoveAll(filepath.Join(m.cfg.Dir, names[i])); err != nil {
+			log.Printf("diag: retention remove %s: %v", names[i], err)
+		}
+	}
+}
+
+// bundleNames lists completed bundle directories, oldest first.
+func (m *Manager) bundleNames() []string {
+	ents, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "diag-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BundleInfo describes one retained bundle — the /statusz listing row.
+type BundleInfo struct {
+	Name   string    `json:"name"`
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+	Bytes  int64     `json:"bytes"`
+}
+
+// Bundles lists retained bundles, newest first. It takes no lock: bundles
+// become visible only via the atomic rename at the end of a write, so a
+// concurrent write is simply not listed yet — and the status source a
+// bundle itself captures re-enters here from under write's lock.
+func (m *Manager) Bundles() []BundleInfo {
+	if m == nil {
+		return nil
+	}
+	names := m.bundleNames()
+	out := make([]BundleInfo, 0, len(names))
+	for i := len(names) - 1; i >= 0; i-- {
+		dir := filepath.Join(m.cfg.Dir, names[i])
+		info := BundleInfo{Name: names[i]}
+		var man manifest
+		if b, err := os.ReadFile(filepath.Join(dir, "bundle.json")); err == nil {
+			if json.Unmarshal(b, &man) == nil {
+				info.Time = man.Time
+				info.Reason = man.Reason
+			}
+		}
+		if ents, err := os.ReadDir(dir); err == nil {
+			for _, e := range ents {
+				if fi, err := e.Info(); err == nil {
+					info.Bytes += fi.Size()
+				}
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Stats reports bundle accounting for /statusz.
+func (m *Manager) Stats() (written, dropped uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.written.Load(), m.dropped.Load()
+}

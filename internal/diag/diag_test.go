@@ -1,0 +1,173 @@
+package diag
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudgraph/internal/telemetry"
+	"cloudgraph/internal/trace"
+)
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.CPUProfile == 0 {
+		cfg.CPUProfile = 10 * time.Millisecond
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestBundleContents(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("test_counter_total", "a test counter").Add(7)
+	fl := trace.NewFlight(16, nil, 0)
+	fl.Add(trace.Event{Time: time.Now(), Component: "test", Kind: "event", Msg: "hello"})
+	m := newTestManager(t, Config{
+		Flight:   fl,
+		Registry: reg,
+		Status:   func() ([]byte, error) { return []byte(`{"ok":true}` + "\n"), nil },
+	})
+
+	dir, err := m.Trigger("unit test: stall detected")
+	if err != nil {
+		t.Fatalf("Trigger: %v", err)
+	}
+	base := filepath.Base(dir)
+	if !strings.HasPrefix(base, "diag-") || !strings.Contains(base, "unit-test-stall-detected") {
+		t.Fatalf("unexpected bundle name %q", base)
+	}
+
+	read := func(name string) string {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("bundle missing %s: %v", name, err)
+		}
+		return string(b)
+	}
+	if got := read("reason.txt"); !strings.Contains(got, "unit test: stall detected") {
+		t.Errorf("reason.txt = %q, want the trigger reason", got)
+	}
+	if got := read("flight.txt"); !strings.Contains(got, "hello") {
+		t.Errorf("flight.txt = %q, want the ring event", got)
+	}
+	if got := read("metrics.prom"); !strings.Contains(got, "test_counter_total 7") {
+		t.Errorf("metrics.prom = %q, want the counter", got)
+	}
+	if got := read("status.json"); !strings.Contains(got, `"ok":true`) {
+		t.Errorf("status.json = %q, want the status snapshot", got)
+	}
+	if got := read("traces.txt"); !strings.Contains(got, "tracing disabled") {
+		t.Errorf("traces.txt = %q, want the nil-recorder placeholder", got)
+	}
+	for _, prof := range []string{"cpu.pprof", "heap.pprof"} {
+		if fi, err := os.Stat(filepath.Join(dir, prof)); err != nil || fi.Size() == 0 {
+			t.Errorf("bundle %s missing or empty (err=%v)", prof, err)
+		}
+	}
+
+	var man struct {
+		Reason string   `json:"reason"`
+		Files  []string `json:"files"`
+		Errors []string `json:"errors"`
+	}
+	if err := json.Unmarshal([]byte(read("bundle.json")), &man); err != nil {
+		t.Fatalf("bundle.json: %v", err)
+	}
+	if man.Reason != "unit test: stall detected" {
+		t.Errorf("manifest reason = %q", man.Reason)
+	}
+	if len(man.Errors) != 0 {
+		t.Errorf("manifest errors = %v, want none", man.Errors)
+	}
+	if len(man.Files) != 7 {
+		t.Errorf("manifest lists %d files (%v), want 7", len(man.Files), man.Files)
+	}
+
+	bundles := m.Bundles()
+	if len(bundles) != 1 || bundles[0].Name != base {
+		t.Fatalf("Bundles() = %+v, want the one written bundle", bundles)
+	}
+	if bundles[0].Reason != "unit test: stall detected" || bundles[0].Bytes == 0 {
+		t.Errorf("Bundles()[0] = %+v, want reason and nonzero size", bundles[0])
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	m := newTestManager(t, Config{MaxBundles: 3})
+	for i := 0; i < 5; i++ {
+		if _, err := m.write("r", time.Date(2026, 1, 1, 0, 0, i, 0, time.UTC)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	bundles := m.Bundles()
+	if len(bundles) != 3 {
+		t.Fatalf("retained %d bundles, want 3: %+v", len(bundles), bundles)
+	}
+	// Newest first; the two oldest (seconds 0 and 1) must be gone.
+	if !strings.Contains(bundles[0].Name, "000004") || !strings.Contains(bundles[2].Name, "000002") {
+		t.Errorf("wrong bundles survived retention: %+v", bundles)
+	}
+}
+
+func TestRateLimitAndAsync(t *testing.T) {
+	m := newTestManager(t, Config{MinGap: time.Hour})
+	m.TriggerAsync("first")
+	// Wait for the async collection to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(m.Bundles()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("async bundle never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Inside the gap: suppressed.
+	m.TriggerAsync("second")
+	m.TriggerAsync("third")
+	time.Sleep(50 * time.Millisecond)
+	if got := len(m.Bundles()); got != 1 {
+		t.Fatalf("rate limit leaked: %d bundles, want 1", got)
+	}
+	written, dropped := m.Stats()
+	if written != 1 || dropped < 2 {
+		t.Errorf("Stats() = written %d dropped %d, want 1 and >=2", written, dropped)
+	}
+}
+
+func TestNilManagerIsNoOp(t *testing.T) {
+	var m *Manager
+	m.TriggerAsync("ignored")
+	if _, err := m.Trigger("ignored"); err == nil {
+		t.Error("nil Trigger should error")
+	}
+	if got := m.Bundles(); got != nil {
+		t.Errorf("nil Bundles() = %v", got)
+	}
+	if w, d := m.Stats(); w != 0 || d != 0 {
+		t.Errorf("nil Stats() = %d, %d", w, d)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"flight trip: core":            "flight-trip-core",
+		"SLO burn (analyzed.microseg)": "slo-burn-analyzed-microseg",
+		"!!!":                          "anomaly",
+		strings.Repeat("abc ", 30):     "abc-abc-abc-abc-abc-abc-abc-abc-abc-abc",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"cloudgraph/internal/telemetry"
 	"cloudgraph/internal/timeline"
 	"cloudgraph/internal/trace"
+	"cloudgraph/internal/watermark"
 )
 
 // Runner is one online analysis. The plane invokes OnSnapshot once per
@@ -48,6 +49,11 @@ type Config struct {
 	// sampled record riding an analyzed window, continuing the record's
 	// journey past the store append.
 	Trace *trace.Tracer
+	// Watermarks, when set, tracks the plane's epoch progress: the
+	// "published" stage advances as the timeline appends, and one
+	// SLO-tracked "analyzed.<name>" stage advances per runner as its
+	// result lands. Nil disables watermarking.
+	Watermarks *watermark.Tracker
 }
 
 // Plane wires a timeline and a set of runners to an engine's consumer
@@ -69,6 +75,11 @@ type Plane struct {
 	histRunners func() []Runner
 
 	telRun map[string]*telemetry.Histogram
+
+	// Watermark stages: the timeline's published stage and one analyzed
+	// stage per runner. Nil when watermarking is off (nil-safe handles).
+	wmPublished *watermark.Stage
+	wmAnalyzed  map[string]*watermark.Stage
 }
 
 // New builds a Plane. The zero Config is usable: default timeline,
@@ -91,9 +102,13 @@ func New(cfg Config) *Plane {
 		order:   make(map[string][]uint64),
 		latest:  make(map[string]uint64),
 		telRun:  make(map[string]*telemetry.Histogram),
+
+		wmPublished: cfg.Watermarks.Stage("published", false),
+		wmAnalyzed:  make(map[string]*watermark.Stage),
 	}
 	for _, r := range p.runners {
 		p.results[r.Name()] = make(map[uint64]json.RawMessage)
+		p.wmAnalyzed[r.Name()] = cfg.Watermarks.Stage("analyzed."+r.Name(), true)
 		if cfg.Telemetry != nil {
 			p.telRun[r.Name()] = cfg.Telemetry.Histogram("cloudgraph_analysis_run_seconds",
 				"online analysis latency per completed window",
@@ -125,7 +140,10 @@ func (p *Plane) Runners() []string {
 func (p *Plane) Consumers() []core.ConsumerSpec {
 	specs := []core.ConsumerSpec{{
 		Name: "timeline",
-		Fn:   func(epoch uint64, g *graph.Graph) { p.tl.Append(epoch, g) },
+		Fn: func(epoch uint64, g *graph.Graph) {
+			p.tl.Append(epoch, g)
+			p.wmPublished.Advance(epoch)
+		},
 	}}
 	for _, r := range p.runners {
 		r := r
@@ -167,6 +185,10 @@ func (p *Plane) step(r Runner, epoch uint64, g *graph.Graph) {
 	}
 	p.latest[name] = epoch
 	p.mu.Unlock()
+	// Advance only after the result is queryable: the analyzed watermark
+	// promises "QUERY at this epoch answers", and the freshness clock
+	// stops when the promise holds, not when the computation does.
+	p.wmAnalyzed[name].Advance(epoch)
 }
 
 // Seal closes the timeline's in-progress roll-up bucket; call once the

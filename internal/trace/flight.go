@@ -44,6 +44,11 @@ type Flight struct {
 	tripGap  time.Duration
 	tripOut  io.Writer
 	trips    atomic.Uint64
+
+	// onTrip, when set, is notified of rate-limit-passing trips — the
+	// diagnostic-bundle trigger. Stored atomically so it can be attached
+	// after the tracer is already live.
+	onTrip atomic.Pointer[func(component, reason string)]
 }
 
 // NewFlight returns a flight recorder retaining the last n entries
@@ -109,6 +114,22 @@ func (f *Flight) Dump(w io.Writer) error {
 	return nil
 }
 
+// SetOnTrip attaches a callback invoked for every trip that passes the
+// rate limit — the hook the diagnostic-bundle writer rides. The callback
+// runs on the tripping goroutine (often a hot path); implementations must
+// hand real work off to their own goroutine. Safe to call while the
+// recorder is live; a nil fn detaches.
+func (f *Flight) SetOnTrip(fn func(component, reason string)) {
+	if f == nil {
+		return
+	}
+	if fn == nil {
+		f.onTrip.Store(nil)
+		return
+	}
+	f.onTrip.Store(&fn)
+}
+
 // Trip records an anomaly and dumps the pre-fault window to the configured
 // output, rate-limited: trips inside the minimum gap only record the event
 // (the storm is visible in the ring, the dump is not repeated). It returns
@@ -119,12 +140,19 @@ func (f *Flight) Trip(component, reason string) bool {
 	}
 	f.trips.Add(1)
 	f.Add(Event{Time: time.Now(), Component: component, Kind: "trip", Msg: reason})
-	if f.tripOut == nil {
+	cb := f.onTrip.Load()
+	if f.tripOut == nil && cb == nil {
 		return false
 	}
 	now := time.Now().UnixNano()
 	last := f.lastTrip.Load()
 	if now-last < int64(f.tripGap) || !f.lastTrip.CompareAndSwap(last, now) {
+		return false
+	}
+	if cb != nil {
+		(*cb)(component, reason)
+	}
+	if f.tripOut == nil {
 		return false
 	}
 	f.tripMu.Lock()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -106,6 +107,31 @@ func waterfall(id uint64, spans []Span) []byte {
 			sp.Start.UTC().Format("15:04:05.000"), sp.Start.Sub(t0), sp.Stage, sp.Dur, note)
 	}
 	return buf.Bytes()
+}
+
+// WriteWaterfalls renders every retained trace as a text waterfall, oldest
+// first — the "recent trace waterfalls" member of a diagnostic bundle, and
+// the same rendering /tracez serves per trace. A nil recorder writes a
+// placeholder line.
+func WriteWaterfalls(w io.Writer, rec *Recorder) error {
+	if rec == nil {
+		_, err := io.WriteString(w, "tracing disabled\n")
+		return err
+	}
+	ids := rec.TraceIDs()
+	if _, err := fmt.Fprintf(w, "%d traces retained\n", len(ids)); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		spans := rec.Trace(id)
+		if len(spans) == 0 {
+			continue
+		}
+		if _, err := w.Write(waterfall(id, spans)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeText emits one text/plain document.

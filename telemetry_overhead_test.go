@@ -5,17 +5,19 @@ import (
 	"time"
 
 	"cloudgraph/internal/core"
+	"cloudgraph/internal/graph"
 	"cloudgraph/internal/runner"
 	"cloudgraph/internal/telemetry"
 	"cloudgraph/internal/trace"
+	"cloudgraph/internal/watermark"
 )
 
 // ingestOnce streams the fixture through a fresh engine in fixed batches
 // and returns the wall time of the ingest calls alone.
-func ingestOnce(tb testing.TB, reg *telemetry.Registry, tr *trace.Tracer, cons []core.ConsumerSpec) time.Duration {
+func ingestOnce(tb testing.TB, reg *telemetry.Registry, tr *trace.Tracer, cons []core.ConsumerSpec, wm *watermark.Tracker) time.Duration {
 	tb.Helper()
 	const batch = 4096
-	e := core.NewEngine(core.Config{Window: time.Hour, Shards: 4, Telemetry: reg, Trace: tr, Consumers: cons})
+	e := core.NewEngine(core.Config{Window: time.Hour, Shards: 4, Telemetry: reg, Trace: tr, Consumers: cons, Watermarks: wm})
 	defer e.Close()
 	recs := fixK8s.records
 	start := time.Now()
@@ -54,16 +56,26 @@ func TestTelemetryOverheadWithinBudget(t *testing.T) {
 		t.Skip("timing gate; race instrumentation skews ratios")
 	}
 	loadFixtures(t)
-	ingestOnce(t, nil, nil, nil) // warm caches before timing
+	ingestOnce(t, nil, nil, nil, nil) // warm caches before timing
 
-	best := func(reg *telemetry.Registry, tr *trace.Tracer, cons []core.ConsumerSpec) time.Duration {
+	best := func(reg *telemetry.Registry, tr *trace.Tracer, cons []core.ConsumerSpec, wm *watermark.Tracker) time.Duration {
 		min := time.Duration(1<<63 - 1)
 		for i := 0; i < 5; i++ {
-			if d := ingestOnce(t, reg, tr, cons); d < min {
+			if d := ingestOnce(t, reg, tr, cons, wm); d < min {
 				min = d
 			}
 		}
 		return min
+	}
+	// watermarkedEngine is the cloudgraphd shape: tracker with an SLO
+	// target plus one SLO-tracked stage advancing on the consumer bus.
+	watermarkedEngine := func() (*watermark.Tracker, []core.ConsumerSpec) {
+		wm := watermark.New(watermark.Config{FreshnessTarget: 5 * time.Second})
+		st := wm.Stage("analyzed.gate", true)
+		return wm, []core.ConsumerSpec{{
+			Name: "gate",
+			Fn:   func(epoch uint64, _ *graph.Graph) { st.Advance(epoch) },
+		}}
 	}
 	const budget = 1.10
 	gates := []struct {
@@ -71,18 +83,27 @@ func TestTelemetryOverheadWithinBudget(t *testing.T) {
 		reg  func() *telemetry.Registry
 		tr   func() *trace.Tracer
 		cons func() []core.ConsumerSpec
+		wm   func() *watermark.Tracker
 	}{
-		{"telemetry", func() *telemetry.Registry { return telemetry.NewRegistry() }, func() *trace.Tracer { return nil }, func() []core.ConsumerSpec { return nil }},
-		{"tracing-disabled", func() *telemetry.Registry { return nil }, func() *trace.Tracer { return trace.New(trace.Options{}) }, func() []core.ConsumerSpec { return nil }},
+		{"telemetry", func() *telemetry.Registry { return telemetry.NewRegistry() }, func() *trace.Tracer { return nil }, func() []core.ConsumerSpec { return nil }, func() *watermark.Tracker { return nil }},
+		{"tracing-disabled", func() *telemetry.Registry { return nil }, func() *trace.Tracer { return trace.New(trace.Options{}) }, func() []core.ConsumerSpec { return nil }, func() *watermark.Tracker { return nil }},
 		{"analysis-plane", func() *telemetry.Registry { return nil }, func() *trace.Tracer { return nil },
-			func() []core.ConsumerSpec { return runner.New(runner.Config{}).Consumers() }},
+			func() []core.ConsumerSpec { return runner.New(runner.Config{}).Consumers() }, func() *watermark.Tracker { return nil }},
+		{"watermarks", func() *telemetry.Registry { return nil }, func() *trace.Tracer { return nil },
+			nil, nil}, // filled below: tracker and consumer are built together
 	}
 	for _, gate := range gates {
 		var ratio float64
 		ok := false
 		for attempt := 1; attempt <= 3 && !ok; attempt++ {
-			off := best(nil, nil, nil)
-			on := best(gate.reg(), gate.tr(), gate.cons())
+			off := best(nil, nil, nil, nil)
+			var on time.Duration
+			if gate.cons == nil {
+				wm, cons := watermarkedEngine()
+				on = best(gate.reg(), gate.tr(), cons, wm)
+			} else {
+				on = best(gate.reg(), gate.tr(), gate.cons(), gate.wm())
+			}
 			ratio = float64(on) / float64(off)
 			t.Logf("%s attempt %d: off %v, on %v, ratio %.3f", gate.name, attempt, off, on, ratio)
 			ok = ratio <= budget
