@@ -31,6 +31,7 @@ import (
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/histstore"
+	"cloudgraph/internal/realm"
 )
 
 // Report is the BENCH_<date>.json schema. Bytes-per-edge figures count
@@ -56,6 +57,13 @@ type Report struct {
 	HistBytesPerWindow   float64 `json:"hist_bytes_per_window_disk"`
 	HistReplayPerSec     float64 `json:"hist_replay_windows_per_sec"`
 	HistCompactBytesGain float64 `json:"hist_compaction_bytes_gain"`
+	// Multi-tenant figures: the same hour pushed through a realm manager
+	// with the stream round-robined across 1 and then 32 tenant realms —
+	// the scheduler admission and COGS accounting are the only layers over
+	// bare ingest — plus the COGS meter's per-tenant wire accounting at 32.
+	TenantRecordsPerSec1  float64 `json:"tenant_records_per_sec_per_core_1"`
+	TenantRecordsPerSec32 float64 `json:"tenant_records_per_sec_per_core_32"`
+	TenantCOGSBytesPer32  float64 `json:"tenant_cogs_wire_bytes_per_tenant_32"`
 }
 
 func heapAlloc() uint64 {
@@ -248,6 +256,68 @@ func measureHistory(r *Report, recs []flowlog.Record) error {
 	return nil
 }
 
+// measureTenancy replays the cluster hour through a realm manager — the
+// multi-tenant daemon's ingest shape — with the stream round-robined in
+// batches across 1 and then 32 tenants, single goroutine, so the two
+// rates bracket what tenancy admission and COGS metering cost over the
+// bare-engine figure above. The 32-tenant run also reports the COGS
+// meter's mean wire bytes per tenant.
+func measureTenancy(r *Report, recs []flowlog.Record) error {
+	const batch = 4096
+	run := func(n int) (float64, int64, error) {
+		m, err := realm.NewManager(realm.Config{Engine: core.Config{Window: time.Hour, Shards: 4}})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer m.Close()
+		realms := make([]*realm.Realm, n)
+		if n == 1 {
+			realms[0] = m.Default()
+		} else {
+			for i := range realms {
+				if realms[i], err = m.Realm(fmt.Sprintf("tenant-%02d", i)); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		const passes = 3
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			slot := 0
+			for off := 0; off < len(recs); off += batch {
+				end := off + batch
+				if end > len(recs) {
+					end = len(recs)
+				}
+				realms[slot%n].IngestTraced(recs[off:end], nil)
+				slot++
+			}
+		}
+		elapsed := time.Since(start)
+		var wire int64
+		for _, rr := range realms {
+			rr.Flush()
+			wire += rr.Cost().WireBytes
+		}
+		if wire == 0 {
+			return 0, 0, fmt.Errorf("COGS metered no wire bytes across %d tenants", n)
+		}
+		return float64(passes*len(recs)) / elapsed.Seconds(), wire / int64(n), nil
+	}
+	rate1, _, err := run(1)
+	if err != nil {
+		return err
+	}
+	rate32, perTenant, err := run(32)
+	if err != nil {
+		return err
+	}
+	r.TenantRecordsPerSec1 = rate1
+	r.TenantRecordsPerSec32 = rate32
+	r.TenantCOGSBytesPer32 = float64(perTenant)
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	flag.Parse()
@@ -266,6 +336,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := measureHistory(r, recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if err := measureTenancy(r, recs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}

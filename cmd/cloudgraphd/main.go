@@ -20,19 +20,31 @@
 // latest`) and the /analyz ops view, pinned to the epoch that produced
 // them.
 //
+// The daemon is multi-tenant: every pipeline plane above exists once per
+// tenant realm (the paper's unit of analysis is a cloud subscription).
+// Untagged traffic lands on the "default" tenant, so single-tenant
+// deployments never notice; a TENANT command or per-frame tenant tags
+// route records to their own realm, admitted on first use up to
+// -max-tenants. A deficit-round-robin scheduler shares -sched-workers
+// execution slots between realms in proportion to -tenant-weight, and a
+// per-tenant COGS meter (records, bytes, graph memory, analysis seconds,
+// disk) is served on /tenantz, /statusz and the tenant-labeled metrics.
+//
 // With -data-dir the daemon is crash-recoverable: every completed window
-// is appended to a durable epoch-indexed segment store, replayed on
-// restart to rebuild the timeline and runners (epochs keep ascending
-// across the crash), compacted into hour roll-ups past
-// -history-retention, and served by QUERY — by epoch or RFC3339 time —
-// long after the in-memory retention has moved on.
+// is appended to a durable epoch-indexed segment store partitioned per
+// tenant under <data-dir>/<tenant>/, replayed on restart to rebuild each
+// tenant's timeline and runners (epochs keep ascending across the
+// crash), compacted into hour roll-ups past -history-retention, and
+// served by QUERY — by epoch or RFC3339 time — long after the in-memory
+// retention has moved on.
 //
 // A second HTTP listener (-ops, default 127.0.0.1:9443) serves operational
 // views of the running daemon: Prometheus metrics on /metrics, liveness on
 // /healthz, profiling on /debug/pprof/, the latest window's adjacency
 // heatmap on /graphz, sampled record traces on /tracez, the flight
-// recorder on /flightz and the analysis plane on /analyz. SIGQUIT dumps
-// the flight ring to stderr without stopping the daemon.
+// recorder on /flightz, per-tenant planes on /tenantz and the analysis
+// plane on /analyz. SIGQUIT dumps the flight ring to stderr without
+// stopping the daemon.
 package main
 
 import (
@@ -44,7 +56,9 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -54,7 +68,7 @@ import (
 	"cloudgraph/internal/diag"
 	"cloudgraph/internal/graph"
 	"cloudgraph/internal/histstore"
-	"cloudgraph/internal/runner"
+	"cloudgraph/internal/realm"
 	"cloudgraph/internal/statusz"
 	"cloudgraph/internal/store"
 	"cloudgraph/internal/telemetry"
@@ -78,30 +92,62 @@ func parseLogLevel(s string) (slog.Level, bool) {
 	return 0, false
 }
 
+// weightFlag collects repeatable -tenant-weight name=w pairs.
+type weightFlag map[string]int64
+
+func (f weightFlag) String() string {
+	pairs := make([]string, 0, len(f))
+	for name, w := range f {
+		pairs = append(pairs, fmt.Sprintf("%s=%d", name, w))
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+func (f weightFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=weight, got %q", s)
+	}
+	if !realm.ValidName(name) {
+		return fmt.Errorf("invalid tenant name %q", name)
+	}
+	w, err := strconv.ParseInt(val, 10, 64)
+	if err != nil || w <= 0 {
+		return fmt.Errorf("weight %q must be a positive integer", val)
+	}
+	f[name] = w
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cloudgraphd: ")
+	weights := weightFlag{}
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7443", "listen address")
 		window      = flag.Duration("window", time.Hour, "graph window size")
 		collapse    = flag.Float64("collapse", 0, "heavy-hitter collapse threshold (0 disables; paper uses 0.001)")
 		facet       = flag.String("facet", "ip", "graph facet: ip or ip-port")
-		maxWin      = flag.Int("max-windows", 48, "retained window history (0 = unlimited)")
+		maxWin      = flag.Int("max-windows", 48, "retained window history per tenant (0 = unlimited)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "ingest shards: concurrent connections fold records in parallel, one flow-key shard per worker")
-		storeTo     = flag.String("store", "", "append completed windows to this store file (graphctl history reads it)")
-		opsAddr     = flag.String("ops", "127.0.0.1:9443", "ops HTTP address serving /metrics, /healthz, /debug/pprof/, /graphz, /tracez and /flightz (empty disables)")
+		storeTo     = flag.String("store", "", "append the default tenant's completed windows to this store file (graphctl history reads it)")
+		opsAddr     = flag.String("ops", "127.0.0.1:9443", "ops HTTP address serving /metrics, /healthz, /debug/pprof/, /graphz, /tracez, /flightz and /tenantz (empty disables)")
 		traceSample = flag.Int("trace-sample", 0, "trace one in N ingested records end to end (0 disables span sampling)")
 		flightN     = flag.Int("flight-events", trace.DefaultFlightEvents, "flight recorder ring capacity (events and spans retained for /flightz and crash dumps)")
 		logLevel    = flag.String("log-level", "info", "structured event log level: debug, info, warn or error")
-		live        = flag.Bool("live", true, "run the online analysis plane (timeline + runners) on the consumer bus")
+		live        = flag.Bool("live", true, "run the online analysis plane (timeline + runners) on each tenant's consumer bus")
 		rollup      = flag.Duration("rollup", time.Hour, "timeline roll-up bucket size (0 disables roll-ups)")
-		retention   = flag.Int("retention", 96, "timeline window snapshots retained")
-		dataDir     = flag.String("data-dir", "", "durable history directory: completed windows are appended to an epoch-indexed segment store, replayed on restart, and served by QUERY past the in-memory retention (empty disables)")
+		retention   = flag.Int("retention", 96, "timeline window snapshots retained per tenant")
+		dataDir     = flag.String("data-dir", "", "durable history directory: completed windows are appended to a per-tenant epoch-indexed segment store under <data-dir>/<tenant>/, replayed on restart, and served by QUERY past the in-memory retention (empty disables)")
 		histRet     = flag.Duration("history-retention", 24*time.Hour, "how long the history store keeps window-resolution records before compacting them into hour roll-ups")
 		freshSLO    = flag.Duration("freshness-slo", 5*time.Second, "per-window freshness target: seal-to-analyzed (and seal-to-durable) latency beyond this burns the SLO budget (0 disables SLO accounting; watermarks stay on)")
 		burnTrip    = flag.Int("slo-burn-trip", 3, "consecutive SLO-burned windows on one stage before an anomaly trip (diagnostic bundle)")
 		diagMax     = flag.Int("diag-max", 8, "diagnostic bundles retained under <data-dir>/diag before the oldest are removed")
+		maxTenants  = flag.Int("max-tenants", 64, "tenant realms admitted before new tenants are rejected")
+		schedW      = flag.Int("sched-workers", 4, "shared execution slots the weighted-fair scheduler grants across tenant realms")
 	)
+	flag.Var(weights, "tenant-weight", "scheduler weight for one tenant as name=weight (repeatable; default 1)")
 	flag.Parse()
 
 	level, ok := parseLogLevel(*logLevel)
@@ -123,26 +169,7 @@ func main() {
 		telemetry.Label{Key: "shards", Value: strconv.Itoa(*workers)},
 		telemetry.Label{Key: "flags", Value: fmt.Sprintf("window=%v collapse=%g facet=%s live=%v freshness-slo=%v", *window, *collapse, *facet, *live, *freshSLO)})
 
-	// The watermark tracker observes the pipeline's per-stage epoch
-	// progress: the engine marks windows sealed, the plane's consumers
-	// advance published/analyzed stages, the history consumer the durable
-	// stage. A stage falling -freshness-slo behind the seal burns the SLO
-	// budget; -slo-burn-trip consecutive burns fire OnBurn, which (like a
-	// flight-recorder trip) captures a diagnostic bundle. diagM is assigned
-	// before the daemon starts serving, so the callbacks — which can only
-	// fire once ingest is underway — always see the final value.
-	var diagM *diag.Manager
-	var statusSrc atomic.Pointer[statusz.Sources]
-	wm := watermark.New(watermark.Config{
-		FreshnessTarget: *freshSLO,
-		Trip:            *burnTrip,
-		OnBurn: func(stage string, epoch, consecutive uint64) {
-			diagM.TriggerAsync(fmt.Sprintf("freshness SLO burn: stage %s %d windows behind target at epoch %d", stage, consecutive, epoch))
-		},
-	})
-	wm.Instrument(reg)
-
-	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers, Telemetry: reg, Trace: tr, Watermarks: wm}
+	cfg := core.Config{Window: *window, MaxWindows: *maxWin, Shards: *workers}
 	switch *facet {
 	case "ip":
 		cfg.Facet = graph.FacetIP
@@ -154,6 +181,46 @@ func main() {
 	if *collapse > 0 {
 		cfg.Collapse = graph.CollapseOptions{Threshold: *collapse}
 	}
+
+	tcfg := timeline.Config{Retention: *retention, Rollup: *rollup}
+	if *rollup == 0 {
+		tcfg.Rollup = -1
+	}
+	hcfg := histstore.Options{Retention: *histRet}
+	if *rollup > 0 {
+		hcfg.RollupBucket = *rollup
+	}
+
+	// Every per-tenant watermark tracker observes its realm's per-stage
+	// epoch progress: the engine marks windows sealed, the plane's
+	// consumers advance published/analyzed stages, the history consumer
+	// the durable stage. A stage falling -freshness-slo behind the seal
+	// burns that tenant's SLO budget; -slo-burn-trip consecutive burns
+	// fire OnBurn, which (like a flight-recorder trip) captures a
+	// diagnostic bundle. diagM is assigned before the daemon starts
+	// serving, so the callbacks — which can only fire once ingest is
+	// underway — always see the final value.
+	var diagM *diag.Manager
+	var statusSrc atomic.Pointer[statusz.Sources]
+	rcfg := realm.Config{
+		Engine:     cfg,
+		Live:       *live,
+		Timeline:   tcfg,
+		Watermark:  watermark.Config{FreshnessTarget: *freshSLO, Trip: *burnTrip},
+		DataDir:    *dataDir,
+		Hist:       hcfg,
+		MaxTenants: *maxTenants,
+		Workers:    *schedW,
+		Weights:    weights,
+		Telemetry:  reg,
+		Trace:      tr,
+		OnBurn: func(tenant, stage string, epoch, consecutive uint64) {
+			diagM.TriggerAsync(fmt.Sprintf("freshness SLO burn: tenant %s stage %s %d windows behind target at epoch %d", tenant, stage, consecutive, epoch))
+		},
+	}
+	if *dataDir != "" {
+		rcfg.CompactEvery = time.Minute
+	}
 	if *storeTo != "" {
 		w, err := store.Create(*storeTo)
 		if err != nil {
@@ -162,7 +229,12 @@ func main() {
 		defer w.Close()
 		w.Instrument(reg)
 		w.Trace(tr)
-		cfg.OnWindow = func(g *graph.Graph) {
+		// The flat store file has no tenant column, so the legacy hook
+		// follows the legacy plane: the default tenant's windows only.
+		rcfg.OnWindow = func(tenant string, g *graph.Graph) {
+			if tenant != realm.DefaultTenant {
+				return
+			}
 			if err := w.Append(g); err != nil {
 				log.Printf("store append: %v", err)
 				return
@@ -174,76 +246,35 @@ func main() {
 		log.Printf("persisting windows to %s", *storeTo)
 	}
 
-	// The analysis plane rides the same consumer bus as the store hook:
-	// timeline ingest plus one consumer per analysis, each buffered and
-	// drop-oldest so a slow analysis never blocks the merge path.
-	var plane *runner.Plane
+	m, err := realm.NewManager(rcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	def := m.Default()
+	// The unlabeled cloudgraph_watermark_* series keep tracking the
+	// default tenant, like every other single-plane surface; per-tenant
+	// visibility rides the tenant-labeled COGS gauges and /tenantz.
+	def.Watermarks().Instrument(reg)
+
 	if *live {
-		tcfg := timeline.Config{Retention: *retention, Rollup: *rollup}
-		if *rollup == 0 {
-			tcfg.Rollup = -1
-		}
-		plane = runner.New(runner.Config{Timeline: tcfg, Telemetry: reg, Trace: tr, Watermarks: wm})
-		cfg.Consumers = plane.Consumers()
-		log.Printf("analysis plane on: %v (rollup=%v retention=%d)", plane.Runners(), *rollup, *retention)
+		log.Printf("analysis plane on: %v (rollup=%v retention=%d)", def.Plane().Runners(), *rollup, *retention)
 	}
 
-	// The durable history store closes the crash-recovery loop: every
-	// completed window is appended (CRC-framed, epoch-indexed) under
-	// -data-dir, replayed here on startup to rebuild the timeline and
-	// runner plane, and compacted into hour roll-ups once it ages past
-	// -history-retention. QUERY falls through to it for epochs older than
-	// the in-memory retention.
-	var hs *histstore.Store
 	if *dataDir != "" {
-		hcfg := histstore.Options{Retention: *histRet}
-		if *rollup > 0 {
-			hcfg.RollupBucket = *rollup
-		}
-		var err error
-		hs, err = histstore.Open(*dataDir, hcfg)
-		if err != nil {
-			log.Fatalf("history store: %v", err)
-		}
-		defer hs.Close()
-		hs.Instrument(reg)
-		hs.Trace(tr)
+		realms := m.Realms()
 		recovered := 0
-		if plane != nil {
-			if err := hs.Replay(func(ep uint64, g *graph.Graph) error {
-				plane.Restore(ep, g)
-				recovered++
-				return nil
-			}); err != nil {
-				log.Fatalf("history replay: %v", err)
-			}
-			plane.SetHistory(hs, nil)
+		for _, r := range realms {
+			recovered += r.Recovered()
 		}
-		cfg.StartEpoch = hs.LastEpoch()
-		// Register the durable stage, then fast-forward every watermark to
-		// the recovered epoch: replayed windows were sealed in a previous
-		// life and must not count as latency or burned budget.
-		wmDurable := wm.Stage("durable", true)
-		wm.Resume(cfg.StartEpoch)
-		cfg.Consumers = append(cfg.Consumers, core.ConsumerSpec{
-			Name:   "history",
-			Buffer: 256,
-			Fn: func(epoch uint64, g *graph.Graph) {
-				if err := hs.Append(epoch, g); err != nil {
-					log.Printf("history append: %v", err)
-					return
-				}
-				wmDurable.Advance(epoch)
-			},
-		})
-		stopCompact := hs.StartCompactor(time.Minute)
-		defer stopCompact()
-		log.Printf("durable history in %s (recovered %d windows, resuming at epoch %d, retention=%v)",
-			*dataDir, recovered, cfg.StartEpoch, *histRet)
+		log.Printf("durable history in %s (%d tenants, recovered %d windows, default resuming at epoch %d, retention=%v)",
+			*dataDir, len(realms), recovered, def.Engine().Epoch(), *histRet)
 
 		// Anomaly diagnostic bundles ride the durable directory: a flight
 		// -recorder trip or an SLO burn trip snapshots the flight ring,
-		// profiles, traces, metrics and status under <data-dir>/diag.
+		// profiles, traces, metrics and status under <data-dir>/diag (a
+		// reserved tenant name, so the bundle directory can never be
+		// recovered as a realm).
 		diagM, err = diag.New(diag.Config{
 			Dir:        filepath.Join(*dataDir, "diag"),
 			MaxBundles: *diagMax,
@@ -268,7 +299,7 @@ func main() {
 		log.Printf("diagnostic bundles in %s (max %d)", filepath.Join(*dataDir, "diag"), *diagMax)
 	}
 
-	srv, err := analytics.ServeWith(*addr, cfg, analytics.Options{Plane: plane})
+	srv, err := analytics.ServeRealms(*addr, m, reg, analytics.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -276,12 +307,36 @@ func main() {
 		srv.Addr(), *window, *facet, *collapse, *workers, *traceSample)
 
 	sources := statusz.Sources{
-		Watermarks: wm,
-		Bus:        srv.Engine().Bus(),
-		Hist:       hs,
+		Watermarks: def.Watermarks(),
+		Bus:        def.Engine().Bus(),
+		Hist:       def.Hist(),
 		Flight:     tr.Flight(),
 		Diag:       diagM,
 		Start:      time.Now(),
+		Tenants: func() []statusz.TenantSources {
+			realms := m.Realms()
+			out := make([]statusz.TenantSources, 0, len(realms))
+			for _, r := range realms {
+				c := r.Cost()
+				out = append(out, statusz.TenantSources{
+					Tenant:     r.Name(),
+					Watermarks: r.Watermarks(),
+					Bus:        r.Engine().Bus(),
+					Hist:       r.Hist(),
+					Cost: statusz.TenantCost{
+						Weight:          c.Weight,
+						Records:         c.Records,
+						WireBytes:       c.WireBytes,
+						GraphBytes:      c.GraphBytes,
+						IngestSeconds:   c.IngestSeconds,
+						AnalysisSeconds: c.AnalysisSeconds,
+						DiskBytes:       c.DiskBytes,
+						QueueDepth:      c.QueueDepth,
+					},
+				})
+			}
+			return out
+		},
 	}
 	statusSrc.Store(&sources)
 
@@ -297,9 +352,10 @@ func main() {
 		ops.HandleView("/tracez", trace.TracezHandler(tr.Recorder()))
 		ops.HandleView("/flightz", trace.FlightzHandler(tr.Flight()))
 		ops.HandleView("/statusz", statusz.Handler(sources))
-		views := "/metrics /healthz /debug/pprof/ /graphz /tracez /flightz /statusz"
-		if plane != nil {
-			ops.HandleView("/analyz", plane.AnalyzHandler())
+		ops.HandleView("/tenantz", realm.TenantzHandler(m))
+		views := "/metrics /healthz /debug/pprof/ /graphz /tracez /flightz /statusz /tenantz"
+		if *live {
+			ops.HandleView("/analyz", def.Plane().AnalyzHandler())
 			views += " /analyz"
 		}
 		log.Printf("ops endpoint on http://%s (%s)", ops.Addr(), views)
@@ -323,6 +379,9 @@ func main() {
 	<-sig
 	log.Printf("shutting down")
 	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
 		log.Fatal(err)
 	}
 }

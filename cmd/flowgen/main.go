@@ -3,10 +3,20 @@
 // wire format (default) or CSV. The output replays through graphctl or
 // cloudgraphd exactly as live telemetry would.
 //
+// With -tenants N (N > 1) flowgen simulates N independent subscriptions
+// — one deterministic cluster per tenant, seeded from the preset — and
+// interleaves their records chronologically into one tagged-frame
+// capture (a .tflows file: each frame carries its tenant tag, the same
+// framing `graphctl send` replays and cloudgraphd's decoder trusts).
+// -tenant-skew zipf thins tenant i to 1/(i+1) of its records, so
+// tenant-00 dominates the stream the way one hot subscription dominates
+// a region; uniform keeps every tenant at full volume.
+//
 // Usage:
 //
 //	flowgen -dataset k8spaas -scale 0.25 -hours 2 -out k8s.flows
 //	flowgen -dataset microservicebench -attack exfil -provider gcp -format csv -out m.csv
+//	flowgen -dataset microservicebench -tenants 8 -tenant-skew zipf -out multi.tflows
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"cloudgraph/internal/analytics"
 	"cloudgraph/internal/cluster"
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/nicsim"
@@ -37,6 +48,8 @@ func main() {
 		attack   = flag.String("attack", "", "inject an attack in the final hour: scan, lateral, exfil or beacon")
 		start    = flag.Int64("start", 1700000000, "unix start time (seconds)")
 		seed     = flag.Int64("seed", 0, "override the preset's deterministic seed")
+		tenants  = flag.Int("tenants", 1, "simulate this many tenant subscriptions and interleave them into a tagged-frame capture (1 = untagged single-tenant output)")
+		skew     = flag.String("tenant-skew", "zipf", "multi-tenant volume skew: zipf (tenant i carries 1/(i+1) of its records) or uniform")
 	)
 	flag.Parse()
 
@@ -47,11 +60,15 @@ func main() {
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
+	t0 := time.Unix(*start, 0).UTC().Truncate(time.Minute)
+	if *tenants > 1 {
+		genTenants(spec, t0, *tenants, *skew, *hours, *format, *out, *provider, *attack)
+		return
+	}
 	c, err := cluster.New(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	t0 := time.Unix(*start, 0).UTC().Truncate(time.Minute)
 	if *attack != "" {
 		if err := addAttack(c, *attack, t0.Add(time.Duration(*hours-1)*time.Hour)); err != nil {
 			log.Fatal(err)
@@ -71,18 +88,7 @@ func main() {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	defer bw.Flush()
 
-	var sampler *flowlog.Sampler
-	switch strings.ToLower(*provider) {
-	case "":
-	case "azure":
-		sampler = flowlog.NewSampler(flowlog.Azure, uint64(spec.Seed))
-	case "aws":
-		sampler = flowlog.NewSampler(flowlog.AWS, uint64(spec.Seed))
-	case "gcp":
-		sampler = flowlog.NewSampler(flowlog.GCP, uint64(spec.Seed))
-	default:
-		log.Fatalf("unknown provider %q", *provider)
-	}
+	sampler := newSampler(*provider, spec.Seed)
 
 	written := 0
 	emit := func(recs []flowlog.Record) error {
@@ -120,6 +126,123 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "flowgen: %s scale=%.2f: %d records over %dh (%d monitored VMs) in %v\n",
 		spec.Name, *scale, written, *hours, c.MonitoredIPs(), time.Since(genStart).Round(time.Millisecond))
+}
+
+// newSampler builds the named provider sampling profile, nil for none.
+func newSampler(provider string, seed int64) *flowlog.Sampler {
+	switch strings.ToLower(provider) {
+	case "":
+		return nil
+	case "azure":
+		return flowlog.NewSampler(flowlog.Azure, uint64(seed))
+	case "aws":
+		return flowlog.NewSampler(flowlog.AWS, uint64(seed))
+	case "gcp":
+		return flowlog.NewSampler(flowlog.GCP, uint64(seed))
+	}
+	log.Fatalf("unknown provider %q", provider)
+	return nil
+}
+
+// genTenants simulates n independent tenant subscriptions — one
+// deterministic cluster each, seeded preset.Seed+i — and interleaves
+// their records chronologically into one tagged-frame capture.
+func genTenants(spec cluster.Spec, t0 time.Time, n int, skew string, hours int, format, out, provider, attack string) {
+	if format != "binary" {
+		log.Fatalf("-tenants needs binary output (tagged frames), not %q", format)
+	}
+	keepEvery := func(i int) int { return 1 }
+	switch skew {
+	case "uniform":
+	case "zipf":
+		keepEvery = func(i int) int { return i + 1 }
+	default:
+		log.Fatalf("unknown tenant skew %q (zipf or uniform)", skew)
+	}
+	names := make([]string, n)
+	streams := make([][]flowlog.Record, n)
+	total := 0
+	genStart := time.Now()
+	for i := range n {
+		names[i] = fmt.Sprintf("tenant-%02d", i)
+		s := spec
+		s.Seed = spec.Seed + int64(i)
+		c, err := cluster.New(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if attack != "" && i == 0 {
+			// The attack lands on the dominant tenant only: the breach
+			// one subscription suffers that its neighbors must not see.
+			if err := addAttack(c, attack, t0.Add(time.Duration(hours-1)*time.Hour)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sampler := newSampler(provider, s.Seed)
+		keep := keepEvery(i)
+		seen := 0
+		collect := func(recs []flowlog.Record) error {
+			for _, r := range recs {
+				if sampler != nil {
+					var ok bool
+					if r, ok = sampler.Sample(r); !ok {
+						continue
+					}
+				}
+				if seen%keep == 0 {
+					streams[i] = append(streams[i], r)
+				}
+				seen++
+			}
+			return nil
+		}
+		if _, err := c.Run(t0, hours*60, nicsim.CollectorFunc(collect)); err != nil {
+			log.Fatal(err)
+		}
+		total += len(streams[i])
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		var err error
+		w, err = os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+
+	// K-way chronological merge: each stream is already time-ordered, so
+	// the capture interleaves tenants the way one region's collector sees
+	// their NICs report. Ties go to the lower tenant index — fully
+	// deterministic, so a capture regenerates byte-identically.
+	idx := make([]int, n)
+	var buf []byte
+	for {
+		best := -1
+		for i := range n {
+			if idx[i] >= len(streams[i]) {
+				continue
+			}
+			if best < 0 || streams[i][idx[i]].Time.Before(streams[best][idx[best]].Time) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		buf = analytics.AppendTagged(buf[:0], streams[best][idx[best]], names[best])
+		if _, err := bw.Write(buf); err != nil {
+			log.Fatal(err)
+		}
+		idx[best]++
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "flowgen: %s x%d tenants (%s skew): %d tagged records over %dh in %v\n",
+		spec.Name, n, skew, total, hours, time.Since(genStart).Round(time.Millisecond))
 }
 
 // addAttack wires a named attack scenario starting at attackStart.

@@ -12,8 +12,8 @@
 //	graphctl pca        [-k 25] file.flows
 //	graphctl dot        file.flows
 //	graphctl plan       [-capacity 2e9] file.flows
-//	graphctl send       -addr host:port file.flows
-//	graphctl query      [-addr host:port] <analysis> [<epoch>|latest]
+//	graphctl send       -addr host:port [-tenant name] file.flows
+//	graphctl query      [-addr host:port] [-tenant name] <analysis> [<epoch>|latest]
 //	graphctl diff       old.flows new.flows
 //	graphctl windows    [-window 1h] file.flows
 //	graphctl attribution file.flows
@@ -21,8 +21,10 @@
 //	graphctl history    [-from t] [-to t] windows.cg
 //	graphctl top        [-ops host:port] [-interval 2s]
 //
-// Files may be binary (flowgen default), CSV (.csv suffix), or Azure NSG
-// flow log v2 exports (.json suffix).
+// Files may be binary (flowgen default), CSV (.csv suffix), Azure NSG
+// flow log v2 exports (.json suffix), or tagged multi-tenant captures
+// (.tflows suffix, flowgen -tenants): send replays each record onto the
+// tenant realm its frame names.
 package main
 
 import (
@@ -376,17 +378,48 @@ func cmdSend(args []string) {
 	addr := fs.String("addr", "127.0.0.1:7443", "cloudgraphd address")
 	batch := fs.Int("batch", 4096, "records per INGEST batch")
 	learn := fs.Bool("learn", false, "FLUSH and LEARN after sending")
+	tenant := fs.String("tenant", "", "session tenant: untagged records land on this realm instead of the default")
 	file := parseArgs(fs, args)
-	recs := readRecords(file)
+	// A .tflows capture (flowgen -tenants) carries per-record tenant tags
+	// that override the session tenant frame by frame; every other format
+	// is untagged and follows -tenant wholesale.
+	var recs []flowlog.Record
+	var tenants []string
+	if strings.HasSuffix(file, ".tflows") {
+		f, err := os.Open(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs, tenants, err = analytics.ReadTagged(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(recs) == 0 {
+			log.Fatal("no records in input")
+		}
+	} else {
+		recs = readRecords(file)
+	}
 	client, err := analytics.Dial(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	if *tenant != "" {
+		if err := client.Tenant(*tenant); err != nil {
+			log.Fatal(err)
+		}
+	}
 	start := time.Now()
 	for i := 0; i < len(recs); i += *batch {
 		end := min(i+*batch, len(recs))
-		if err := client.Ingest(recs[i:end]); err != nil {
+		if tenants != nil {
+			err = client.IngestTagged(recs[i:end], nil, tenants[i:end])
+		} else {
+			err = client.Ingest(recs[i:end])
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -414,9 +447,10 @@ func cmdSend(args []string) {
 func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7443", "cloudgraphd address")
+	tenant := fs.String("tenant", "", "query this tenant realm's analysis plane instead of the default")
 	fs.Parse(args)
 	if fs.NArg() < 1 || fs.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: graphctl query [-addr host:port] <analysis> [<epoch>|<rfc3339-time>|latest]")
+		fmt.Fprintln(os.Stderr, "usage: graphctl query [-addr host:port] [-tenant name] <analysis> [<epoch>|<rfc3339-time>|latest]")
 		os.Exit(2)
 	}
 	// The selector may be a raw epoch, "latest", or an RFC3339 timestamp
@@ -440,6 +474,11 @@ func cmdQuery(args []string) {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	if *tenant != "" {
+		if err := client.Tenant(*tenant); err != nil {
+			log.Fatal(err)
+		}
+	}
 	res, err := client.QuerySelector(fs.Arg(0), selector)
 	if err != nil {
 		log.Fatal(err)

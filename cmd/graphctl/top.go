@@ -111,6 +111,25 @@ func renderTop(w io.Writer, st statusz.Status, url string) {
 		fmt.Fprintln(w)
 	}
 
+	if len(st.Tenants) > 0 {
+		fmt.Fprintf(w, "%-18s %3s %10s %10s %10s %8s %9s %5s %7s %7s\n",
+			"tenant", "w", "records", "graph", "disk", "ingest", "analysis", "queue", "sealed", "budget")
+		for _, t := range st.Tenants {
+			sealed := uint64(0)
+			budget := 1.0
+			if t.Watermarks != nil {
+				sealed = t.Watermarks.Sealed
+				budget = t.Watermarks.BudgetRemaining
+			}
+			fmt.Fprintf(w, " %-17s %3d %10d %10s %10s %7.2fs %8.2fs %5d %7d %6.1f%%\n",
+				t.Tenant, t.Cost.Weight, t.Cost.Records,
+				humanBytes(t.Cost.GraphBytes), humanBytes(t.Cost.DiskBytes),
+				t.Cost.IngestSeconds, t.Cost.AnalysisSeconds,
+				t.Cost.QueueDepth, sealed, budget*100)
+		}
+		fmt.Fprintln(w)
+	}
+
 	if h := st.Hist; h != nil {
 		fmt.Fprintf(w, "histstore: epochs %d–%d · %d segments · %d bytes · %d window + %d rollup records\n",
 			h.OldestEpoch, h.NewestEpoch, h.Segments, h.Bytes, h.WindowRecords, h.RollupRecords)
@@ -133,4 +152,17 @@ func renderTop(w io.Writer, st statusz.Status, url string) {
 	if strings.TrimSpace(uptime) == "" && st.Watermarks == nil && len(st.Bus) == 0 {
 		fmt.Fprintln(w, "(empty status — is this a cloudgraphd ops endpoint?)")
 	}
+}
+
+// humanBytes renders a byte count with a binary unit suffix.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }

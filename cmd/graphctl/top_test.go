@@ -25,6 +25,12 @@ func TestTopFetchAndRender(t *testing.T) {
 	srv := httptest.NewServer(statusz.Handler(statusz.Sources{
 		Watermarks: wm,
 		Start:      time.Now().Add(-90 * time.Second),
+		Tenants: func() []statusz.TenantSources {
+			return []statusz.TenantSources{{
+				Tenant: "acme",
+				Cost:   statusz.TenantCost{Weight: 4, Records: 1234, GraphBytes: 2048, DiskBytes: 1 << 21},
+			}}
+		},
 	}))
 	defer srv.Close()
 
@@ -39,7 +45,10 @@ func TestTopFetchAndRender(t *testing.T) {
 	var buf strings.Builder
 	renderTop(&buf, st, srv.URL)
 	out := buf.String()
-	for _, want := range []string{"sealed 2", "analyzed.segment", "SLO budget", "lag"} {
+	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != "acme" {
+		t.Fatalf("decoded tenants = %+v, want one acme row", st.Tenants)
+	}
+	for _, want := range []string{"sealed 2", "analyzed.segment", "SLO budget", "lag", "acme", "2.0KiB", "2.0MiB"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dashboard frame missing %q:\n%s", want, out)
 		}

@@ -113,6 +113,53 @@ func notConsumer(e *Engine, g *Graph) {
 	reingest(e, g) // ok: not on a bus delivery goroutine
 }
 
+// Realm mirrors realm.Realm: a named tenant plane wrapping its own
+// Engine. The multi-tenant invariant is stricter than the single-engine
+// one — a consumer on tenant A's bus must not re-enter ANY engine,
+// including tenant B's: the scheduler runs both planes on the same
+// shared worker slots, so cross-tenant re-entry feeds B's pipeline from
+// a goroutine B's drain may be waiting on.
+type Realm struct {
+	name string
+	eng  *Engine
+}
+
+// crossTenant installs a consumer on tenant A that pushes records into
+// tenant B's engine — the cross-plane feedback loop the realm scheduler
+// forbids.
+func crossTenant(a, b *Realm) {
+	a.eng.Subscribe(ConsumerSpec{
+		Name: "cross-tenant",
+		Fn: func(epoch uint64, g *Graph) {
+			b.eng.Ingest(nil) // want "bus consumer cross-tenant calls Engine.Ingest"
+		},
+	})
+}
+
+// crossFlush blocks tenant A's delivery goroutine on tenant B's drain;
+// with both planes behind one scheduler pool that is a cross-tenant
+// deadlock, not just a stall.
+func crossFlush(a, b *Realm) ConsumerSpec {
+	return ConsumerSpec{
+		Name: "cross-flush",
+		Fn: func(epoch uint64, g *Graph) {
+			b.eng.Flush() // want "bus consumer cross-flush calls Engine.Flush"
+		},
+	}
+}
+
+// fanin reads a sibling tenant's completed windows: reads never
+// re-enter, whichever plane they land on.
+func fanin(a, b *Realm) ConsumerSpec {
+	_ = a
+	return ConsumerSpec{
+		Name: "fanin",
+		Fn: func(epoch uint64, g *Graph) {
+			_ = b.eng.Windows() // ok: reading completed windows does not re-enter
+		},
+	}
+}
+
 // suppressed pins the //lint:allow path.
 func suppressed(e *Engine) ConsumerSpec {
 	return ConsumerSpec{

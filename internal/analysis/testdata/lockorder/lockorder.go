@@ -142,3 +142,50 @@ func localLock(f *F) {
 	f.mu.Unlock()
 	mu.Unlock()
 }
+
+// Scheduler and Tenant mirror the realm scheduler's shape: a shared
+// scheduler mutex guarding the deficit round-robin state, and one mutex
+// per tenant plane. Its invariant is that the grant loop holds at most
+// one tenant lock at a time, and never a tenant lock together with the
+// scheduler lock.
+type Scheduler struct{ mu sync.Mutex }
+type Tenant struct{ mu sync.Mutex }
+
+// stealBudget holds two tenant locks at once. Tenant locks share one
+// identity class (same field of the same type), so the second acquire is
+// the self-deadlock shape: two grant loops stealing in opposite
+// directions wedge the whole pool.
+func stealBudget(from, to *Tenant) {
+	from.mu.Lock()
+	to.mu.Lock() // want "already held"
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+
+// grantHolding runs a tenant's work while still holding the scheduler
+// lock; yieldSlot re-enters the scheduler while holding the tenant lock.
+// Together they close a Scheduler<->Tenant cycle — exactly the deadlock
+// the realm scheduler avoids by releasing its own lock before running
+// the granted closure.
+func grantHolding(s *Scheduler, t *Tenant) {
+	s.mu.Lock()
+	t.mu.Lock() // want "lock-order cycle"
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func yieldSlot(s *Scheduler, t *Tenant) {
+	t.mu.Lock()
+	s.mu.Lock() // want "lock-order cycle"
+	s.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// grantClean is the invariant-respecting shape: pick under the scheduler
+// lock, release it, then touch exactly one tenant.
+func grantClean(s *Scheduler, t *Tenant) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}

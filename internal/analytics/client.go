@@ -112,6 +112,46 @@ func (c *Client) IngestTraced(recs []flowlog.Record, tcs []trace.Context) error 
 	return c.finishIngest(len(recs))
 }
 
+// Tenant switches the connection's session tenant: every later command
+// reads and ingests that tenant's pipeline plane. The server admits the
+// realm on first use; invalid names, the tenant cap, or a single-engine
+// server (for any tenant but the default) answer ERR.
+func (c *Client) Tenant(name string) error {
+	if strings.ContainsAny(name, " \t\r\n") || name == "" {
+		return fmt.Errorf("bad tenant %q", name)
+	}
+	if err := c.send("TENANT %s\n", name); err != nil {
+		return err
+	}
+	_, err := c.readLine()
+	return err
+}
+
+// IngestTagged streams a batch with per-record tenant tags using the
+// flagged-frame variant of INGEST. tenants must be parallel to recs; ""
+// leaves a record on the connection's session tenant. tcs may be nil or
+// parallel trace contexts.
+func (c *Client) IngestTagged(recs []flowlog.Record, tcs []trace.Context, tenants []string) error {
+	if len(tenants) != len(recs) {
+		return fmt.Errorf("tenants not parallel: %d tags for %d records", len(tenants), len(recs))
+	}
+	if _, err := fmt.Fprintf(c.w, "INGEST %d T\n", len(recs)); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 1+flowlog.WireSize+traceFieldSize+1+64)
+	for i, r := range recs {
+		var tc trace.Context
+		if tcs != nil {
+			tc = tcs[i]
+		}
+		buf = appendTaggedFrame(buf[:0], r, tc, tenants[i])
+		if _, err := c.w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return c.finishIngest(len(recs))
+}
+
 // finishIngest flushes a written batch and checks the OK response.
 func (c *Client) finishIngest(n int) error {
 	if err := c.w.Flush(); err != nil {

@@ -79,8 +79,11 @@ func FuzzDecodeFrame(f *testing.F) {
 // scanFlaggedFrames is the fuzz oracle for the flagged framing: it walks
 // data the way readBatchFlagged's framing layer must, returning the byte
 // count of n whole well-flagged frames. ok is false when the data runs
-// short or hits an invalid flag before n frames — the cases where the
-// reader may not (short) or must not (bad flag) consume the whole batch.
+// short or hits an invalid flag or unframeable tenant length before n
+// frames — the cases where the reader may not (short) or must not
+// (desync) consume the whole batch. A well-framed but invalid tenant
+// name is NOT a framing failure: the frame length is still known, so the
+// reader drains it like any recoverable decode error.
 func scanFlaggedFrames(data []byte, n int) (size int, ok bool) {
 	pos := 0
 	for i := 0; i < n; i++ {
@@ -88,18 +91,32 @@ func scanFlaggedFrames(data []byte, n int) (size int, ok bool) {
 			return 0, false
 		}
 		flag := data[pos]
-		if flag != frameFlagPlain && flag != frameFlagTraced {
+		if flag > frameFlagMax {
 			return 0, false
 		}
 		pos++
 		frame := flowlog.WireSize
-		if flag == frameFlagTraced {
+		if flag&frameFlagTraced != 0 {
 			frame += traceFieldSize
 		}
 		if pos+frame > len(data) {
 			return 0, false
 		}
 		pos += frame
+		if flag&frameFlagTenant != 0 {
+			if pos >= len(data) {
+				return 0, false
+			}
+			l := data[pos]
+			if l == 0 || l >= 0x80 {
+				return 0, false // unframeable varint length: desync
+			}
+			pos++
+			if pos+int(l) > len(data) {
+				return 0, false
+			}
+			pos += int(l)
+		}
 	}
 	return pos, true
 }
@@ -125,6 +142,20 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 	valid := appendFlaggedFrame(nil, rec, trace.Context{TraceID: 0xabc, SpanID: 0xdef})
 	valid = appendFlaggedFrame(valid, rec.Reverse(), trace.Context{})
 	f.Add(uint8(2), valid)
+	// Tagged frames: traced+tagged, then tagged only.
+	tagged := appendTaggedFrame(nil, rec, trace.Context{TraceID: 0xabc, SpanID: 0xdef}, "acme")
+	tagged = appendTaggedFrame(tagged, rec.Reverse(), trace.Context{}, "globex-prod")
+	f.Add(uint8(2), tagged)
+	// A tagged frame whose name is well-framed but invalid (uppercase):
+	// recoverable, must drain.
+	badName := appendTaggedFrame(nil, rec, trace.Context{}, "acme")
+	badName[1+flowlog.WireSize+1] = 'A'
+	badName = appendTaggedFrame(badName, rec.Reverse(), trace.Context{}, "acme")
+	f.Add(uint8(2), badName)
+	// A tenant length byte with the continuation bit: desync.
+	badLen := appendTaggedFrame(nil, rec, trace.Context{}, "acme")
+	badLen[1+flowlog.WireSize] = 0x84
+	f.Add(uint8(1), badLen)
 	// A zeroed traced frame: flag is valid, record fails to decode — the
 	// recoverable case that must still drain the batch.
 	corrupt := append([]byte(nil), valid...)
@@ -142,7 +173,7 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, count uint8, data []byte) {
 		n := int(count % 17)
 		r := bytes.NewReader(data)
-		batch, tcs, err := readBatchFlagged(r, n, new(connScratch))
+		batch, tcs, tenants, err := readBatchFlagged(r, n, new(connScratch))
 		consumed := len(data) - r.Len()
 		if size, ok := scanFlaggedFrames(data, n); ok {
 			if consumed != size {
@@ -158,17 +189,17 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if len(batch) != n || len(tcs) != n {
-			t.Fatalf("n=%d: got %d records, %d contexts", n, len(batch), len(tcs))
+		if len(batch) != n || len(tcs) != n || len(tenants) != n {
+			t.Fatalf("n=%d: got %d records, %d contexts, %d tenants", n, len(batch), len(tcs), len(tenants))
 		}
 		// Successful decodes re-encode canonically: a traced flag with a
 		// zero trace ID decodes as unsampled and re-encodes plain, so
 		// compare by re-decoding the canonical bytes.
 		var enc []byte
 		for i := range batch {
-			enc = appendFlaggedFrame(enc, batch[i], tcs[i])
+			enc = appendTaggedFrame(enc, batch[i], tcs[i], tenants[i])
 		}
-		batch2, tcs2, err := readBatchFlagged(bytes.NewReader(enc), n, new(connScratch))
+		batch2, tcs2, tenants2, err := readBatchFlagged(bytes.NewReader(enc), n, new(connScratch))
 		if err != nil {
 			t.Fatalf("n=%d: canonical re-decode failed: %v", n, err)
 		}
@@ -178,6 +209,9 @@ func FuzzDecodeFlaggedFrame(f *testing.F) {
 			}
 			if tcs[i].Sampled() != tcs2[i].Sampled() || (tcs[i].Sampled() && tcs[i] != tcs2[i]) {
 				t.Fatalf("n=%d context %d: round-trip mismatch %+v vs %+v", n, i, tcs[i], tcs2[i])
+			}
+			if tenants[i] != tenants2[i] {
+				t.Fatalf("n=%d tenant %d: round-trip mismatch %q vs %q", n, i, tenants[i], tenants2[i])
 			}
 		}
 	})

@@ -83,8 +83,8 @@ type QueryResult struct {
 	Result   json.RawMessage `json:"result"`
 }
 
-func (s *Server) cmdQuery(fields []string) (any, error) {
-	if s.plane == nil {
+func cmdQuery(fields []string, ses *session) (any, error) {
+	if ses.plane == nil {
 		return nil, errors.New("no analysis plane attached (start cloudgraphd with -live)")
 	}
 	name, sel, err := parseQuery(fields)
@@ -93,13 +93,13 @@ func (s *Server) cmdQuery(fields []string) (any, error) {
 	}
 	epoch := sel.epoch
 	if !sel.at.IsZero() {
-		ep, ok := s.plane.ResolveTime(sel.at)
+		ep, ok := ses.plane.ResolveTime(sel.at)
 		if !ok {
 			return nil, fmt.Errorf("no window covers %s (in memory or on disk)", sel.at.Format(time.RFC3339))
 		}
 		epoch = ep
 	}
-	at, res, err := s.plane.Query(name, epoch)
+	at, res, err := ses.plane.Query(name, epoch)
 	if err != nil {
 		return nil, err
 	}

@@ -17,10 +17,18 @@
 //	SUMMARY                                            -> JSON SummaryResult
 //	ANOMALIES                                          -> JSON []AnomalyResult
 //	QUERY <analysis> [<epoch>|latest]                  -> JSON QueryResult
+//	TENANT <name>                                      -> OK <name>
 //	QUIT                                               -> connection closes
 //
 // QUERY reads the online analysis plane (Options.Plane); without a plane
 // attached it answers ERR.
+//
+// A server started with ServeRealms serves one pipeline plane per tenant
+// (see internal/realm): TENANT switches the connection's session tenant
+// — every later command reads and ingests that tenant's plane — and
+// tagged frames (wire.go) route records per frame regardless of the
+// session tenant. A single-engine server accepts TENANT only for the
+// default tenant, so tools probing for multi-tenancy get a clean ERR.
 package analytics
 
 import (
@@ -40,6 +48,7 @@ import (
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/model"
+	"cloudgraph/internal/realm"
 	"cloudgraph/internal/runner"
 	"cloudgraph/internal/summarize"
 	"cloudgraph/internal/telemetry"
@@ -101,10 +110,14 @@ func (m *serverMetrics) instrument(reg *telemetry.Registry) {
 type Server struct {
 	engine *core.Engine
 	plane  *runner.Plane
-	ln     net.Listener
-	opts   Options
-	tel    serverMetrics
-	wg     sync.WaitGroup
+	realms *realm.Manager // nil on a single-engine server
+	// ownEngine marks the single-engine mode, where Close tears the
+	// engine down; a realm manager owns its engines itself.
+	ownEngine bool
+	ln        net.Listener
+	opts      Options
+	tel       serverMetrics
+	wg        sync.WaitGroup
 
 	// mu guards closed and conns. Tracking live connections lets Close
 	// tear down stalled peers instead of waiting out their deadlines.
@@ -127,13 +140,39 @@ func ServeWith(addr string, cfg core.Config, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		engine: core.NewEngine(cfg),
-		plane:  opts.Plane,
+		engine:    core.NewEngine(cfg),
+		plane:     opts.Plane,
+		ownEngine: true,
+		ln:        ln,
+		opts:      opts.withDefaults(),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.tel.instrument(cfg.Telemetry)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// ServeRealms starts a multi-tenant server over a realm manager. The
+// manager owns every engine and plane (the server's Engine and default
+// command routing resolve to the default tenant's realm); Close stops
+// the listener and handlers but leaves the manager to its owner. The
+// endpoint metrics register in reg (nil disables them).
+func ServeRealms(addr string, m *realm.Manager, reg *telemetry.Registry, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	def := m.Default()
+	s := &Server{
+		engine: def.Engine(),
+		plane:  def.Plane(),
+		realms: m,
 		ln:     ln,
 		opts:   opts.withDefaults(),
 		conns:  make(map[net.Conn]struct{}),
 	}
-	s.tel.instrument(cfg.Telemetry)
+	s.tel.instrument(reg)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -162,7 +201,9 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
-	s.engine.Close() // stop the consumer-bus goroutines after the last handler exits
+	if s.ownEngine {
+		s.engine.Close() // stop the consumer-bus goroutines after the last handler exits
+	}
 	return err
 }
 
@@ -207,6 +248,58 @@ func (s *Server) dropConn(conn net.Conn) {
 // than a JSON document.
 type textResponse string
 
+// session is one connection's tenant binding: the engine and plane every
+// command on this connection reads and writes. A single-engine server
+// pins it to the server's engine; under a realm manager the TENANT
+// command rebinds it, and per-frame tenant tags override it record by
+// record on the ingest path.
+type session struct {
+	tenant string
+	engine *core.Engine
+	plane  *runner.Plane
+	realm  *realm.Realm // nil on a single-engine server
+}
+
+// cmdTenant rebinds the connection's session tenant, admitting the realm
+// if needed. The single-engine server accepts only the default tenant so
+// a probing client gets a clean ERR rather than silently shared state.
+func (s *Server) cmdTenant(fields []string, ses *session) (any, error) {
+	if len(fields) != 2 {
+		return nil, errors.New("usage: TENANT <name>")
+	}
+	name := fields[1]
+	if s.realms == nil {
+		if name != realm.DefaultTenant {
+			return nil, errors.New("multi-tenant mode disabled (single-engine server)")
+		}
+		return textResponse("OK " + name), nil
+	}
+	r, err := s.realms.Realm(name)
+	if err != nil {
+		return nil, err
+	}
+	ses.tenant = name
+	ses.realm = r
+	ses.engine = r.Engine()
+	ses.plane = r.Plane()
+	return textResponse("OK " + name), nil
+}
+
+// flush drains the session tenant's pipeline: close open windows, drain
+// its bus, seal the roll-up bucket.
+func (ses *session) flush() int {
+	if ses.realm != nil {
+		return ses.realm.Flush()
+	}
+	n := len(ses.engine.Flush())
+	if ses.plane != nil {
+		// Flush drained the bus, so the timeline has every window;
+		// seal the in-progress roll-up bucket to make it queryable.
+		ses.plane.Seal()
+	}
+	return n
+}
+
 // handle runs the command loop for one connection. Handlers compute a
 // response value; this loop is the only place responses are written, so
 // every write and flush error is checked exactly once and tears the
@@ -215,6 +308,10 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 256<<10)
 	w := bufio.NewWriter(conn)
 	sc := new(connScratch)
+	ses := &session{tenant: realm.DefaultTenant, engine: s.engine, plane: s.plane}
+	if s.realms != nil {
+		ses.realm = s.realms.Default()
+	}
 	for {
 		// The read deadline is absolute, so it also bounds the binary
 		// batch an INGEST command goes on to read: a peer that stalls
@@ -240,31 +337,27 @@ func (s *Server) handle(conn net.Conn) {
 		case "QUIT":
 			out = textResponse("OK bye")
 		case "INGEST":
-			out, cmdErr = s.cmdIngest(fields, r, sc)
+			out, cmdErr = s.cmdIngest(fields, r, sc, ses)
 		case "FLUSH":
-			n := len(s.engine.Flush())
-			if s.plane != nil {
-				// Flush drained the bus, so the timeline has every window;
-				// seal the in-progress roll-up bucket to make it queryable.
-				s.plane.Seal()
-			}
-			out = textResponse(fmt.Sprintf("OK %d", n))
+			out = textResponse(fmt.Sprintf("OK %d", ses.flush()))
 		case "STATS":
-			out = s.stats()
+			out = s.stats(ses)
 		case "WINDOWS":
-			out = s.windows()
+			out = windows(ses)
 		case "LEARN":
-			out, cmdErr = s.cmdLearn()
+			out, cmdErr = cmdLearn(ses)
 		case "SEGMENTS":
-			out, cmdErr = s.cmdSegments()
+			out, cmdErr = cmdSegments(ses)
 		case "MONITOR":
-			out, cmdErr = s.cmdMonitor()
+			out, cmdErr = cmdMonitor(ses)
 		case "SUMMARY":
-			out, cmdErr = s.cmdSummary()
+			out, cmdErr = cmdSummary(ses)
 		case "ANOMALIES":
-			out = s.cmdAnomalies()
+			out = cmdAnomalies(ses)
 		case "QUERY":
-			out, cmdErr = s.cmdQuery(fields)
+			out, cmdErr = cmdQuery(fields, ses)
+		case "TENANT":
+			out, cmdErr = s.cmdTenant(fields, ses)
 		default:
 			cmdErr = fmt.Errorf("unknown command %q", cmd)
 		}
@@ -318,8 +411,21 @@ func writeResponse(w *bufio.Writer, out any, cmdErr error) error {
 // records in place — the whole decode path allocates nothing per batch in
 // the steady state.
 type connScratch struct {
-	batch []flowlog.Record
-	tcs   []trace.Context
+	batch   []flowlog.Record
+	tcs     []trace.Context
+	tenants []string
+	// names interns wire tenant tags so a steady tagged stream allocates
+	// each distinct name once per connection.
+	names map[string]string
+	// groups are the reused per-tenant regroup buffers for mixed-tenant
+	// batches (the slow path; uniform batches ingest the borrowed slice).
+	groups map[string]*tenantGroup
+}
+
+// tenantGroup is one tenant's slice of a regrouped mixed batch.
+type tenantGroup struct {
+	recs []flowlog.Record
+	tcs  []trace.Context
 }
 
 // nextSlot extends batch by one reusable slot, growing the backing array
@@ -335,9 +441,11 @@ func nextSlot(batch []flowlog.Record) []flowlog.Record {
 }
 
 // cmdIngest reads n binary frames — bare legacy frames, or flagged frames
-// when the command carries the T marker — and feeds them to the engine.
-// The returned batch lives in sc and is overwritten by the next INGEST.
-func (s *Server) cmdIngest(fields []string, r *bufio.Reader, sc *connScratch) (any, error) {
+// when the command carries the T marker — and feeds them to the session
+// tenant's engine (per-frame tenant tags override the session, routed in
+// ingestTagged). The returned batch lives in sc and is overwritten by the
+// next INGEST.
+func (s *Server) cmdIngest(fields []string, r *bufio.Reader, sc *connScratch, ses *session) (any, error) {
 	traced := false
 	switch {
 	case len(fields) == 2:
@@ -351,7 +459,7 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader, sc *connScratch) (a
 		return nil, errors.New("bad count")
 	}
 	if !traced {
-		tr := s.engine.Tracer()
+		tr := ses.engine.Tracer()
 		var start time.Time
 		if tr != nil {
 			start = time.Now()
@@ -381,16 +489,16 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader, sc *connScratch) (a
 				tr.Record(c, "wire.ingest", start, d, note)
 			}
 		}
-		s.engine.IngestTraced(batch, tcs)
+		ses.ingest(batch, tcs)
 		s.tel.frames.Add(int64(n))
 		return textResponse(fmt.Sprintf("OK %d", n)), nil
 	}
 	start := time.Now()
-	batch, tcs, err := readBatchFlagged(r, n, sc)
+	batch, tcs, tenants, err := readBatchFlagged(r, n, sc)
 	if err != nil {
 		return nil, err
 	}
-	if tr := s.engine.Tracer(); tr != nil {
+	if tr := ses.engine.Tracer(); tr != nil {
 		// The "wire.ingest" hop: the sampled record crossed the protocol
 		// and decoded server-side.
 		d := time.Since(start)
@@ -401,9 +509,117 @@ func (s *Server) cmdIngest(fields []string, r *bufio.Reader, sc *connScratch) (a
 			}
 		}
 	}
-	s.engine.IngestTraced(batch, tcs)
+	if err := s.ingestTagged(ses, sc, batch, tcs, tenants); err != nil {
+		return nil, err
+	}
 	s.tel.frames.Add(int64(n))
 	return textResponse(fmt.Sprintf("OK %d", n)), nil
+}
+
+// ingest folds an untagged batch into the session tenant's engine,
+// through the weighted-fair scheduler when realms are on.
+//
+//vet:borrowed batch tcs
+func (ses *session) ingest(batch []flowlog.Record, tcs []trace.Context) {
+	if ses.realm != nil {
+		ses.realm.IngestTraced(batch, tcs)
+		return
+	}
+	ses.engine.IngestTraced(batch, tcs)
+}
+
+// ingestTagged routes a flagged batch by per-frame tenant tag (""
+// meaning the session tenant). The overwhelmingly common case — every
+// frame bound for one tenant — ingests the borrowed slice directly; a
+// genuinely mixed batch regroups into sc's per-tenant buffers, copying
+// each record exactly once. An unadmittable tag (tenant cap) rejects the
+// whole batch before any record lands, so a batch is all-or-nothing.
+//
+//vet:borrowed batch tcs
+func (s *Server) ingestTagged(ses *session, sc *connScratch, batch []flowlog.Record, tcs []trace.Context, tenants []string) error {
+	if len(tenants) == 0 {
+		return nil // empty declared batch
+	}
+	// Effective tenant per frame is its tag, or the session tenant when
+	// untagged; the batch is uniform when every frame resolves the same.
+	first := tenants[0]
+	if first == "" {
+		first = ses.tenant
+	}
+	mixed := false
+	for _, t := range tenants[1:] {
+		if t == "" {
+			t = ses.tenant
+		}
+		if t != first {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		target := ses
+		if first != ses.tenant {
+			if s.realms == nil {
+				return fmt.Errorf("tenant tag %q: multi-tenant mode disabled", first)
+			}
+			r, err := s.realms.Realm(first)
+			if err != nil {
+				return err
+			}
+			target = &session{tenant: first, engine: r.Engine(), plane: r.Plane(), realm: r}
+		}
+		target.ingest(batch, tcs)
+		return nil
+	}
+	if s.realms == nil {
+		return errors.New("tenant tags: multi-tenant mode disabled")
+	}
+	// Mixed batch: resolve every realm first (all-or-nothing), then
+	// regroup per tenant preserving each tenant's record order.
+	if sc.groups == nil {
+		sc.groups = make(map[string]*tenantGroup, 4)
+	}
+	for _, g := range sc.groups {
+		g.recs, g.tcs = g.recs[:0], g.tcs[:0]
+	}
+	realms := make(map[string]*realm.Realm, 4)
+	for _, t := range tenants {
+		if t == "" {
+			t = ses.tenant
+		}
+		if realms[t] == nil {
+			r := s.realms.Get(t)
+			if r == nil {
+				var err error
+				if r, err = s.realms.Realm(t); err != nil {
+					return err
+				}
+			}
+			realms[t] = r
+		}
+	}
+	for i, rec := range batch {
+		t := tenants[i]
+		if t == "" {
+			t = ses.tenant
+		}
+		g := sc.groups[t]
+		if g == nil {
+			g = &tenantGroup{}
+			sc.groups[t] = g
+		}
+		g.recs = append(g.recs, rec)
+		if tcs != nil {
+			g.tcs = append(g.tcs, tcs[i])
+		}
+	}
+	for t, g := range sc.groups {
+		if len(g.recs) == 0 {
+			continue
+		}
+		realms[t].IngestTraced(g.recs, g.tcs)
+	}
+	return nil
 }
 
 // readBatch reads a declared batch of n binary flowlog frames into sc's
@@ -469,8 +685,8 @@ type ShardInfo struct {
 	Depth   int     `json:"depth"`
 }
 
-func (s *Server) stats() Stats {
-	cost := s.engine.Cost()
+func (s *Server) stats(ses *session) Stats {
+	cost := ses.engine.Cost()
 	st := Stats{
 		Records:       cost.Records,
 		RecordsPerSec: cost.RecordsPerSec,
@@ -484,10 +700,10 @@ func (s *Server) stats() Stats {
 			Depth:   sh.Depth,
 		})
 	}
-	ws := s.engine.Windows()
+	ws := ses.engine.Windows()
 	st.Windows = len(ws)
 	if len(ws) > 0 {
-		sum := s.engine.Summary()
+		sum := ses.engine.Summary()
 		st.Nodes = sum.Stats.Nodes
 		st.Edges = sum.Stats.Edges
 		st.Headline = sum.Headline
@@ -506,8 +722,8 @@ type WindowInfo struct {
 	Bytes uint64 `json:"bytes"`
 }
 
-func (s *Server) windows() []WindowInfo {
-	ws := s.engine.Windows()
+func windows(ses *session) []WindowInfo {
+	ws := ses.engine.Windows()
 	out := make([]WindowInfo, 0, len(ws))
 	for _, g := range ws {
 		st := g.ComputeStats()
@@ -529,16 +745,16 @@ type LearnResult struct {
 	AllowedPairs int `json:"allowed_pairs"`
 }
 
-func (s *Server) cmdLearn() (any, error) {
-	g := s.engine.Latest()
+func cmdLearn(ses *session) (any, error) {
+	g := ses.engine.Latest()
 	if g == nil {
 		return nil, errors.New("no completed window to learn from (FLUSH first?)")
 	}
-	assign, err := s.engine.Learn(g)
+	assign, err := ses.engine.Learn(g)
 	if err != nil {
 		return nil, err
 	}
-	_, reach := s.engine.Baseline()
+	_, reach := ses.engine.Baseline()
 	return LearnResult{
 		Segments:     assign.NumSegments(),
 		Nodes:        len(assign),
@@ -546,8 +762,8 @@ func (s *Server) cmdLearn() (any, error) {
 	}, nil
 }
 
-func (s *Server) cmdSegments() (any, error) {
-	assign, _ := s.engine.Baseline()
+func cmdSegments(ses *session) (any, error) {
+	assign, _ := ses.engine.Baseline()
 	if assign == nil {
 		return nil, errors.New("no baseline: LEARN first")
 	}
@@ -568,12 +784,12 @@ type MonitorResult struct {
 	FlaggedPairs []string `json:"flagged_growth_pairs,omitempty"`
 }
 
-func (s *Server) cmdMonitor() (any, error) {
-	g := s.engine.Latest()
+func cmdMonitor(ses *session) (any, error) {
+	g := ses.engine.Latest()
 	if g == nil {
 		return nil, errors.New("no completed window")
 	}
-	rep := s.engine.Monitor(g)
+	rep := ses.engine.Monitor(g)
 	if rep == nil {
 		return nil, errors.New("no baseline: LEARN first")
 	}
@@ -606,8 +822,8 @@ type SummaryResult struct {
 	ScatterPct  float64 `json:"scatter_bytes_pct"`
 }
 
-func (s *Server) cmdSummary() (any, error) {
-	g := s.engine.Latest()
+func cmdSummary(ses *session) (any, error) {
+	g := ses.engine.Latest()
 	if g == nil {
 		return nil, errors.New("no completed window")
 	}
@@ -636,8 +852,8 @@ type AnomalyResult struct {
 	Anomalous bool    `json:"anomalous"`
 }
 
-func (s *Server) cmdAnomalies() []AnomalyResult {
-	scores := s.engine.Anomalies(summarize.AnomalyOptions{})
+func cmdAnomalies(ses *session) []AnomalyResult {
+	scores := ses.engine.Anomalies(summarize.AnomalyOptions{})
 	out := make([]AnomalyResult, 0, len(scores))
 	for _, sc := range scores {
 		out = append(out, AnomalyResult{

@@ -3,23 +3,36 @@ package analytics
 // Traced INGEST framing. The legacy batch — "INGEST <n>" followed by n
 // bare 76-byte flowlog frames — stays exactly as it was, so old clients
 // and recorded streams keep working byte for byte. A client that sampled
-// records for tracing sends the flagged variant instead:
+// records for tracing or tags records with a tenant sends the flagged
+// variant instead:
 //
 //	INGEST <n> T\n  followed by n flagged frames
 //
-// where each flagged frame is one flag byte, the 76-byte record, and —
-// only when the flag says so — a 16-byte trace field:
+// where each flagged frame is one flag byte, the 76-byte record, and the
+// appendices the flag bits declare, in bit order:
 //
 //	0x00  plain record:  [flag][76-byte record]
 //	0x01  traced record: [flag][76-byte record][8-byte trace ID][8-byte span ID]
+//	0x02  tenant tag:    [flag][76-byte record][1-byte length][tenant name]
+//	0x03  both:          [flag][76-byte record][16-byte trace field][tenant field]
 //
-// Trace IDs are little endian, matching the record encoding. Any other
-// flag value is unrecoverable: the frame length is unknowable, so the
-// reader cannot drain to the next command boundary and the connection
-// must close (errDesync). A record that fails to decode inside a
-// well-flagged frame is recoverable exactly like the legacy path — the
-// flag still gives the frame length, so the reader drains the rest of the
-// declared batch and answers ERR with the stream in sync.
+// Trace IDs are little endian, matching the record encoding. The tenant
+// field is a one-byte uvarint length followed by that many name bytes;
+// realm.MaxNameLen (64) guarantees every legal length fits one varint
+// byte, so a length byte with the continuation bit set (>= 0x80) or a
+// zero length does not come from any writer we ever shipped and is
+// treated as desync. Untagged frames (bit 0x02 clear) belong to the
+// connection's session tenant — realm.DefaultTenant unless a TENANT
+// command changed it — so single-tenant clients never pay the tag byte.
+//
+// Any flag above 0x03 is unrecoverable: the frame length is unknowable,
+// so the reader cannot drain to the next command boundary and the
+// connection must close (errDesync). A record that fails to decode
+// inside a well-flagged frame — and a tenant name that is well-framed
+// but invalid (too long, bad charset) — is recoverable exactly like the
+// legacy path: the flag and length byte still fix the frame length, so
+// the reader drains the rest of the declared batch and answers ERR with
+// the stream in sync.
 
 import (
 	"encoding/binary"
@@ -28,14 +41,19 @@ import (
 	"io"
 
 	"cloudgraph/internal/flowlog"
+	"cloudgraph/internal/realm"
 	"cloudgraph/internal/trace"
 )
 
 const (
 	// frameFlagPlain marks a flagged frame carrying only the record.
 	frameFlagPlain = 0x00
-	// frameFlagTraced marks a flagged frame with the 16-byte trace field.
+	// frameFlagTraced sets the 16-byte trace field appendix.
 	frameFlagTraced = 0x01
+	// frameFlagTenant sets the tenant tag appendix.
+	frameFlagTenant = 0x02
+	// frameFlagMax is the highest valid flag (all bits known).
+	frameFlagMax = frameFlagTraced | frameFlagTenant
 	// traceFieldSize is the trace ID + span ID appendix.
 	traceFieldSize = 16
 )
@@ -44,58 +62,130 @@ const (
 // re-synchronized; the server reports ERR and closes the connection.
 var errDesync = errors.New("stream desynchronized")
 
-// appendFlaggedFrame encodes one flagged frame for rec. A zero (unsampled)
-// context emits the plain flag and no trace field.
+// appendFlaggedFrame encodes one flagged frame for rec with no tenant
+// tag. A zero (unsampled) context emits the plain flag and no trace
+// field.
 func appendFlaggedFrame(buf []byte, rec flowlog.Record, tc trace.Context) []byte {
+	return appendTaggedFrame(buf, rec, tc, "")
+}
+
+// appendTaggedFrame encodes one flagged frame carrying rec, an optional
+// trace context, and an optional tenant tag ("" emits no tag: the frame
+// belongs to the receiver's session tenant). The tenant must already be
+// realm.ValidName; the encoder panics on oversize names rather than emit
+// a frame every reader rejects.
+func appendTaggedFrame(buf []byte, rec flowlog.Record, tc trace.Context, tenant string) []byte {
+	flag := byte(frameFlagPlain)
 	if tc.Sampled() {
-		buf = append(buf, frameFlagTraced)
-		buf = flowlog.AppendBinary(buf, rec)
+		flag |= frameFlagTraced
+	}
+	if tenant != "" {
+		flag |= frameFlagTenant
+		if len(tenant) > realm.MaxNameLen {
+			panic(fmt.Sprintf("tenant tag %q exceeds MaxNameLen", tenant))
+		}
+	}
+	buf = append(buf, flag)
+	buf = flowlog.AppendBinary(buf, rec)
+	if flag&frameFlagTraced != 0 {
 		buf = binary.LittleEndian.AppendUint64(buf, tc.TraceID)
 		buf = binary.LittleEndian.AppendUint64(buf, tc.SpanID)
-		return buf
 	}
-	buf = append(buf, frameFlagPlain)
-	return flowlog.AppendBinary(buf, rec)
+	if flag&frameFlagTenant != 0 {
+		buf = append(buf, byte(len(tenant)))
+		buf = append(buf, tenant...)
+	}
+	return buf
+}
+
+// internTenant returns the canonical string for a wire tenant name,
+// reusing the per-connection table so a steady stream of tagged frames
+// allocates each distinct name once. The map lookup keyed by
+// string(name) does not allocate on the hit path.
+func internTenant(sc *connScratch, name []byte) string {
+	if s, ok := sc.names[string(name)]; ok {
+		return s
+	}
+	if sc.names == nil {
+		sc.names = make(map[string]string, 4)
+	}
+	s := string(name)
+	sc.names[s] = s
+	return s
 }
 
 // readBatchFlagged reads a declared batch of n flagged frames into sc's
-// reused buffers, returning the records and their parallel trace contexts
-// (zero Context on plain frames). It keeps readBatch's drain invariant for
-// every recoverable error: once a frame's flag byte fixes its length, the
-// remaining frames of the batch are consumed even when a record fails to
-// decode, so the stream stays command-aligned. Only short reads and unknown
-// flag bytes (errDesync) leave the stream mid-batch, and both end the
+// reused buffers, returning the records with their parallel trace
+// contexts (zero Context on plain frames) and tenant tags ("" on
+// untagged frames). It keeps readBatch's drain invariant for every
+// recoverable error: once a frame's flag byte and tenant length byte fix
+// its length, the remaining frames of the batch are consumed even when a
+// record or tenant name fails validation, so the stream stays
+// command-aligned. Only short reads, unknown flag bytes, and unframeable
+// tenant lengths (errDesync) leave the stream mid-batch, and all end the
 // connection.
 //
 //vet:borrowed sc return
-func readBatchFlagged(r io.Reader, n int, sc *connScratch) ([]flowlog.Record, []trace.Context, error) {
+func readBatchFlagged(r io.Reader, n int, sc *connScratch) ([]flowlog.Record, []trace.Context, []string, error) {
 	if sc.batch == nil {
 		pre := min(n, 4096) // don't let a huge declared count pre-allocate unboundedly
 		sc.batch = make([]flowlog.Record, 0, pre)
 	}
-	batch, tcs := sc.batch[:0], sc.tcs[:0]
-	var buf [flowlog.WireSize + traceFieldSize]byte
-	var decodeErr error
-	for i := 0; i < n; i++ {
+	batch, tcs, tenants := sc.batch[:0], sc.tcs[:0], sc.tenants[:0]
+	// The name region is sized for the largest well-framed length (0x7f),
+	// not MaxNameLen: an oversize name is a recoverable error and its
+	// bytes still have to be drained.
+	var buf [flowlog.WireSize + traceFieldSize + 1 + 0x7f]byte
+	var decodeErr, failErr error
+	failAt := -1
+	// Mid-batch failures save the scratch inline rather than through a
+	// helper closure: the buffers are borrowed, and a closure capturing
+	// them would pin them heap-reachable past the call.
+	for i := 0; i < n && failErr == nil; i++ {
 		if _, err := io.ReadFull(r, buf[:1]); err != nil {
-			sc.batch, sc.tcs = batch, tcs
-			return nil, nil, fmt.Errorf("short ingest stream at record %d", i)
+			failAt, failErr = i, errors.New("short ingest stream")
+			break
 		}
 		flag := buf[0]
-		if flag != frameFlagPlain && flag != frameFlagTraced {
-			sc.batch, sc.tcs = batch, tcs
-			return nil, nil, fmt.Errorf("record %d: unknown frame flag 0x%02x: %w", i, flag, errDesync)
+		if flag > frameFlagMax {
+			failAt, failErr = i, fmt.Errorf("unknown frame flag 0x%02x: %w", flag, errDesync)
+			break
 		}
 		size := flowlog.WireSize
-		if flag == frameFlagTraced {
+		if flag&frameFlagTraced != 0 {
 			size += traceFieldSize
 		}
 		if _, err := io.ReadFull(r, buf[:size]); err != nil {
-			sc.batch, sc.tcs = batch, tcs
-			return nil, nil, fmt.Errorf("short ingest stream at record %d", i)
+			failAt, failErr = i, errors.New("short ingest stream")
+			break
+		}
+		var name []byte
+		if flag&frameFlagTenant != 0 {
+			lb := buf[size : size+1]
+			if _, err := io.ReadFull(r, lb); err != nil {
+				failAt, failErr = i, errors.New("short ingest stream")
+				break
+			}
+			// A continuation bit would mean a multi-byte varint length; no
+			// legal name needs one (MaxNameLen = 64 < 0x80), so the frame
+			// length is untrustworthy and the stream is lost. Zero-length
+			// tags are equally unwritable: taggers omit the bit instead.
+			if lb[0] == 0 || lb[0] >= 0x80 {
+				failAt, failErr = i, fmt.Errorf("unframeable tenant length 0x%02x: %w", lb[0], errDesync)
+				break
+			}
+			name = buf[size+1 : size+1+int(lb[0])]
+			if _, err := io.ReadFull(r, name); err != nil {
+				failAt, failErr = i, errors.New("short ingest stream")
+				break
+			}
 		}
 		if decodeErr != nil {
 			continue // draining the declared batch after a bad record
+		}
+		if flag&frameFlagTenant != 0 && !realm.ValidNameBytes(name) {
+			decodeErr = fmt.Errorf("record %d: invalid tenant tag %q", i, name)
+			continue
 		}
 		batch = nextSlot(batch)
 		if err := flowlog.DecodeBinaryInto(&batch[len(batch)-1], buf[:flowlog.WireSize]); err != nil {
@@ -104,15 +194,23 @@ func readBatchFlagged(r io.Reader, n int, sc *connScratch) ([]flowlog.Record, []
 			continue
 		}
 		var tc trace.Context
-		if flag == frameFlagTraced {
+		if flag&frameFlagTraced != 0 {
 			tc.TraceID = binary.LittleEndian.Uint64(buf[flowlog.WireSize:])
 			tc.SpanID = binary.LittleEndian.Uint64(buf[flowlog.WireSize+8:])
 		}
 		tcs = append(tcs, tc)
+		tenant := ""
+		if flag&frameFlagTenant != 0 {
+			tenant = internTenant(sc, name)
+		}
+		tenants = append(tenants, tenant)
 	}
-	sc.batch, sc.tcs = batch, tcs
+	sc.batch, sc.tcs, sc.tenants = batch, tcs, tenants
+	if failErr != nil {
+		return nil, nil, nil, fmt.Errorf("record %d: %w", failAt, failErr)
+	}
 	if decodeErr != nil {
-		return nil, nil, decodeErr
+		return nil, nil, nil, decodeErr
 	}
-	return batch, tcs, nil
+	return batch, tcs, tenants, nil
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 	"time"
+	"unsafe"
 
 	"cloudgraph/internal/flowlog"
 	"cloudgraph/internal/trace"
@@ -46,15 +47,20 @@ func TestFlaggedRoundTrip(t *testing.T) {
 		t.Fatalf("encoded %d bytes, want %d", len(buf), wantLen)
 	}
 	r := bytes.NewReader(buf)
-	gotRecs, gotTcs, err := readBatchFlagged(r, 3, new(connScratch))
+	gotRecs, gotTcs, gotTenants, err := readBatchFlagged(r, 3, new(connScratch))
 	if err != nil {
 		t.Fatalf("readBatchFlagged: %v", err)
 	}
 	if r.Len() != 0 {
 		t.Fatalf("left %d bytes unread", r.Len())
 	}
-	if len(gotRecs) != 3 || len(gotTcs) != 3 {
-		t.Fatalf("got %d records, %d contexts", len(gotRecs), len(gotTcs))
+	if len(gotRecs) != 3 || len(gotTcs) != 3 || len(gotTenants) != 3 {
+		t.Fatalf("got %d records, %d contexts, %d tenants", len(gotRecs), len(gotTcs), len(gotTenants))
+	}
+	for i, tn := range gotTenants {
+		if tn != "" {
+			t.Errorf("untagged frame %d decoded tenant %q", i, tn)
+		}
 	}
 	for i := range recs {
 		if gotRecs[i] != recs[i] {
@@ -83,7 +89,7 @@ func TestFlaggedDecodeErrorDrains(t *testing.T) {
 	buf = append(buf, next...)
 
 	r := bytes.NewReader(buf)
-	_, _, err := readBatchFlagged(r, 3, new(connScratch))
+	_, _, _, err := readBatchFlagged(r, 3, new(connScratch))
 	if err == nil {
 		t.Fatal("want decode error")
 	}
@@ -106,7 +112,7 @@ func TestFlaggedBadFlagIsDesync(t *testing.T) {
 	buf := appendFlaggedFrame(nil, wireTestRecord(0), trace.Context{})
 	buf = append(buf, 0x7f) // second frame: invalid flag
 	buf = append(buf, make([]byte, flowlog.WireSize)...)
-	_, _, err := readBatchFlagged(bytes.NewReader(buf), 2, new(connScratch))
+	_, _, _, err := readBatchFlagged(bytes.NewReader(buf), 2, new(connScratch))
 	if !errors.Is(err, errDesync) {
 		t.Fatalf("want errDesync, got %v", err)
 	}
@@ -131,7 +137,7 @@ func TestOldFormatHasNoTraceField(t *testing.T) {
 	for _, r := range recs {
 		flagged = appendFlaggedFrame(flagged, r, trace.Context{})
 	}
-	gotNew, tcs, err := readBatchFlagged(bytes.NewReader(flagged), 2, new(connScratch))
+	gotNew, tcs, _, err := readBatchFlagged(bytes.NewReader(flagged), 2, new(connScratch))
 	if err != nil {
 		t.Fatalf("readBatchFlagged: %v", err)
 	}
@@ -142,6 +148,142 @@ func TestOldFormatHasNoTraceField(t *testing.T) {
 		if tcs[i].Sampled() {
 			t.Errorf("record %d: plain frame produced a sampled context %+v", i, tcs[i])
 		}
+	}
+}
+
+// TestTaggedRoundTrip encodes a batch mixing untagged, tagged, and
+// traced+tagged frames and decodes it back, asserting records, contexts,
+// and tenant tags survive unchanged — and that the tag field's cost is
+// exactly 1+len(name) bytes on tagged frames and zero on untagged ones.
+func TestTaggedRoundTrip(t *testing.T) {
+	recs := []flowlog.Record{wireTestRecord(0), wireTestRecord(1), wireTestRecord(2)}
+	tcs := []trace.Context{{}, {TraceID: 0xdeadbeefcafe, SpanID: 0x1234}, {}}
+	tenants := []string{"", "acme", "globex-prod"}
+	var buf []byte
+	for i := range recs {
+		buf = appendTaggedFrame(buf, recs[i], tcs[i], tenants[i])
+	}
+	wantLen := 3*(1+flowlog.WireSize) + traceFieldSize + (1 + len("acme")) + (1 + len("globex-prod"))
+	if len(buf) != wantLen {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), wantLen)
+	}
+	r := bytes.NewReader(buf)
+	gotRecs, gotTcs, gotTenants, err := readBatchFlagged(r, 3, new(connScratch))
+	if err != nil {
+		t.Fatalf("readBatchFlagged: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("left %d bytes unread", r.Len())
+	}
+	for i := range recs {
+		if gotRecs[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, gotRecs[i], recs[i])
+		}
+		if gotTcs[i] != tcs[i] {
+			t.Errorf("context %d: got %+v want %+v", i, gotTcs[i], tcs[i])
+		}
+		if gotTenants[i] != tenants[i] {
+			t.Errorf("tenant %d: got %q want %q", i, gotTenants[i], tenants[i])
+		}
+	}
+}
+
+// TestTaggedInterning: the same tenant tag decoded many times on one
+// connection must return one canonical string (the interning that keeps
+// the tagged hot path allocation-free).
+func TestTaggedInterning(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 4; i++ {
+		buf = appendTaggedFrame(buf, wireTestRecord(i), trace.Context{}, "acme")
+	}
+	_, _, tenants, err := readBatchFlagged(bytes.NewReader(buf), 4, new(connScratch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tenants); i++ {
+		// Same backing string, not merely equal bytes.
+		if unsafeStringData(tenants[i]) != unsafeStringData(tenants[0]) {
+			t.Fatalf("tenant %d not interned", i)
+		}
+	}
+}
+
+func unsafeStringData(s string) *byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.StringData(s)
+}
+
+// TestTaggedInvalidNameDrains: a well-framed but invalid tenant name
+// (bad charset) is a recoverable error — the reader drains the declared
+// batch and the next command stays aligned, exactly like a bad record.
+func TestTaggedInvalidNameDrains(t *testing.T) {
+	var buf []byte
+	buf = appendTaggedFrame(buf, wireTestRecord(0), trace.Context{}, "acme")
+	bad := appendTaggedFrame(nil, wireTestRecord(1), trace.Context{}, "acme")
+	bad[1+flowlog.WireSize+1] = 'A' // uppercase: invalid charset, length intact
+	buf = append(buf, bad...)
+	buf = appendTaggedFrame(buf, wireTestRecord(2), trace.Context{}, "acme")
+	const next = "STATS\n"
+	buf = append(buf, next...)
+
+	r := bytes.NewReader(buf)
+	_, _, _, err := readBatchFlagged(r, 3, new(connScratch))
+	if err == nil {
+		t.Fatal("want invalid-tenant error")
+	}
+	if errors.Is(err, errDesync) {
+		t.Fatalf("invalid name must be recoverable, got desync: %v", err)
+	}
+	rest := make([]byte, r.Len())
+	if _, rerr := r.Read(rest); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(rest) != next {
+		t.Fatalf("stream desynced: %d bytes left, want the %q command", len(rest), next)
+	}
+}
+
+// TestTaggedBadLengthIsDesync: a tenant length byte of zero or with the
+// varint continuation bit set cannot come from any writer we shipped, so
+// the frame length is untrustworthy and the reader must desync.
+func TestTaggedBadLengthIsDesync(t *testing.T) {
+	for _, lb := range []byte{0x00, 0x80, 0xff} {
+		buf := appendTaggedFrame(nil, wireTestRecord(0), trace.Context{}, "acme")
+		buf[1+flowlog.WireSize] = lb
+		_, _, _, err := readBatchFlagged(bytes.NewReader(buf), 1, new(connScratch))
+		if !errors.Is(err, errDesync) {
+			t.Fatalf("length byte 0x%02x: want errDesync, got %v", lb, err)
+		}
+	}
+}
+
+// TestTaggedFileRoundTrip pins the .tflows file codec over the same
+// framing.
+func TestTaggedFileRoundTrip(t *testing.T) {
+	recs := []flowlog.Record{wireTestRecord(0), wireTestRecord(1), wireTestRecord(2)}
+	tenants := []string{"acme", "", "globex"}
+	var buf []byte
+	for i := range recs {
+		buf = AppendTagged(buf, recs[i], tenants[i])
+	}
+	gotRecs, gotTenants, err := ReadTagged(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRecs) != 3 {
+		t.Fatalf("got %d records", len(gotRecs))
+	}
+	for i := range recs {
+		if gotRecs[i] != recs[i] || gotTenants[i] != tenants[i] {
+			t.Errorf("frame %d: got (%+v, %q) want (%+v, %q)",
+				i, gotRecs[i], gotTenants[i], recs[i], tenants[i])
+		}
+	}
+	// Truncated mid-frame: must error, not silently stop.
+	if _, _, err := ReadTagged(bytes.NewReader(buf[:len(buf)-3])); err == nil {
+		t.Fatal("truncated stream read cleanly")
 	}
 }
 

@@ -1,0 +1,44 @@
+package realm
+
+// Tenant naming. Tenant IDs cross two trust boundaries — the wire (frame
+// tags decoded from untrusted peers) and the filesystem (per-tenant
+// history directories under -data-dir) — so one validator gates both:
+// lowercase alphanumerics plus [._-], at most MaxNameLen bytes, and the
+// first byte must be alphanumeric, which excludes dotfiles, "." and ".."
+// by construction.
+
+// MaxNameLen bounds a tenant name; it also bounds the one-byte varint
+// length the wire encoding uses (see internal/analytics tagged frames).
+const MaxNameLen = 64
+
+// DefaultTenant is the realm untagged traffic maps to.
+const DefaultTenant = "default"
+
+// reserved names collide with non-tenant directories under -data-dir.
+var reserved = map[string]bool{"diag": true}
+
+// ValidName reports whether s is an acceptable tenant identifier.
+func ValidName(s string) bool {
+	return ValidNameBytes([]byte(s))
+}
+
+// ValidNameBytes is ValidName on a borrowed byte slice (the wire decoder's
+// no-copy path — the conversion above compiles allocation-free).
+func ValidNameBytes(b []byte) bool {
+	if len(b) == 0 || len(b) > MaxNameLen {
+		return false
+	}
+	if !alnum(b[0]) {
+		return false
+	}
+	for _, c := range b[1:] {
+		if !alnum(c) && c != '.' && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return !reserved[string(b)]
+}
+
+func alnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}

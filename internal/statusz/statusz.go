@@ -43,6 +43,46 @@ type Sources struct {
 	Diag *diag.Manager
 	// Start anchors the uptime figure (zero omits it).
 	Start time.Time
+	// Tenants, when set, lists one source set per tenant realm — the
+	// multi-plane registry. The single-plane fields above keep working
+	// unchanged (a multi-tenant daemon points them at its default
+	// tenant), so single-tenant callers and old JSON consumers never see
+	// a difference; nil omits the tenants section like any other source.
+	Tenants func() []TenantSources
+}
+
+// TenantSources is one tenant's slice of the multi-plane registry. The
+// same all-nil-safe contract as Sources applies per field.
+type TenantSources struct {
+	Tenant     string
+	Watermarks *watermark.Tracker
+	Bus        *core.Bus
+	Hist       *histstore.Store
+	// Cost is the tenant's COGS snapshot, prepared by the caller (the
+	// realm layer); statusz treats it as opaque display data.
+	Cost TenantCost
+}
+
+// TenantCost mirrors the realm COGS meter without importing it (statusz
+// must stay importable from the realm layer's callers).
+type TenantCost struct {
+	Weight          int64   `json:"weight"`
+	Records         int64   `json:"records"`
+	WireBytes       int64   `json:"wire_bytes"`
+	GraphBytes      int64   `json:"graph_bytes"`
+	IngestSeconds   float64 `json:"ingest_seconds"`
+	AnalysisSeconds float64 `json:"analysis_seconds"`
+	DiskBytes       int64   `json:"disk_bytes"`
+	QueueDepth      int     `json:"queue_depth"`
+}
+
+// TenantStatus is one tenant's row in the Status document.
+type TenantStatus struct {
+	Tenant     string              `json:"tenant"`
+	Watermarks *watermark.Snapshot `json:"watermarks,omitempty"`
+	Bus        []core.ConsumerStat `json:"bus,omitempty"`
+	Hist       *HistStatus         `json:"histstore,omitempty"`
+	Cost       TenantCost          `json:"cost"`
 }
 
 // Status is the JSON document /statusz?format=json serves.
@@ -54,6 +94,7 @@ type Status struct {
 	Hist          *HistStatus         `json:"histstore,omitempty"`
 	Flight        *FlightStatus       `json:"flight,omitempty"`
 	Diag          *DiagStatus         `json:"diag,omitempty"`
+	Tenants       []TenantStatus      `json:"tenants,omitempty"`
 }
 
 // HistStatus summarizes the history store for the status page.
@@ -98,17 +139,23 @@ func (s Sources) Collect() Status {
 		st.Bus = s.Bus.Stats()
 	}
 	if s.Hist != nil {
-		hs := s.Hist.Stats()
-		h := &HistStatus{
-			Segments:      hs.Segments,
-			Bytes:         hs.Bytes,
-			WindowRecords: hs.WindowRecords,
-			RollupRecords: hs.RollupRecords,
+		st.Hist = histStatus(s.Hist)
+	}
+	if s.Tenants != nil {
+		for _, ts := range s.Tenants() {
+			row := TenantStatus{Tenant: ts.Tenant, Cost: ts.Cost}
+			if ts.Watermarks != nil {
+				snap := ts.Watermarks.Snapshot()
+				row.Watermarks = &snap
+			}
+			if ts.Bus != nil {
+				row.Bus = ts.Bus.Stats()
+			}
+			if ts.Hist != nil {
+				row.Hist = histStatus(ts.Hist)
+			}
+			st.Tenants = append(st.Tenants, row)
 		}
-		if lo, hi, ok := s.Hist.WindowEpochs(); ok {
-			h.OldestEpoch, h.NewestEpoch = lo, hi
-		}
-		st.Hist = h
 	}
 	if s.Flight != nil {
 		fs := &FlightStatus{Trips: s.Flight.Trips()}
@@ -125,6 +172,21 @@ func (s Sources) Collect() Status {
 		st.Diag = &DiagStatus{Written: w, Dropped: d, Bundles: s.Diag.Bundles()}
 	}
 	return st
+}
+
+// histStatus summarizes one history store for the status page.
+func histStatus(h *histstore.Store) *HistStatus {
+	hs := h.Stats()
+	out := &HistStatus{
+		Segments:      hs.Segments,
+		Bytes:         hs.Bytes,
+		WindowRecords: hs.WindowRecords,
+		RollupRecords: hs.RollupRecords,
+	}
+	if lo, hi, ok := h.WindowEpochs(); ok {
+		out.OldestEpoch, out.NewestEpoch = lo, hi
+	}
+	return out
 }
 
 // JSON returns the status snapshot as a JSON document — the diagnostic
@@ -219,6 +281,7 @@ var page = template.Must(template.New("statusz").Funcs(template.FuncMap{
 		}
 		return t.UTC().Format("15:04:05.000")
 	},
+	"pct": func(v float64) float64 { return v * 100 },
 }).Parse(`<!doctype html>
 <html><head><title>cloudgraph /statusz</title><style>
 body { font: 14px/1.4 monospace; margin: 2em; color: #222; }
@@ -253,6 +316,14 @@ h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-bottom: 0; }
 {{with .Hist}}
 <h2>history store</h2>
 <p class="meta">epochs {{.OldestEpoch}}–{{.NewestEpoch}} · {{.Segments}} segments · {{bytes .Bytes}} · {{.WindowRecords}} window + {{.RollupRecords}} rollup records</p>
+{{end}}
+
+{{with .Tenants}}
+<h2>tenants</h2>
+<table>
+<tr><th>tenant</th><th>weight</th><th>records</th><th>graph</th><th>disk</th><th>ingest</th><th>analysis</th><th>queue</th><th>sealed</th><th>budget</th></tr>
+{{range .}}<tr><td>{{.Tenant}}</td><td>{{.Cost.Weight}}</td><td>{{.Cost.Records}}</td><td>{{bytes .Cost.GraphBytes}}</td><td>{{bytes .Cost.DiskBytes}}</td><td>{{secs .Cost.IngestSeconds}}</td><td>{{secs .Cost.AnalysisSeconds}}</td><td{{if gt .Cost.QueueDepth 0}} class="warn"{{end}}>{{.Cost.QueueDepth}}</td><td>{{with .Watermarks}}{{.Sealed}}{{else}}–{{end}}</td><td>{{with .Watermarks}}{{printf "%.0f%%" (pct .BudgetRemaining)}}{{else}}–{{end}}</td></tr>
+{{end}}</table>
 {{end}}
 
 {{with .Flight}}

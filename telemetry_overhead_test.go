@@ -6,6 +6,7 @@ import (
 
 	"cloudgraph/internal/core"
 	"cloudgraph/internal/graph"
+	"cloudgraph/internal/realm"
 	"cloudgraph/internal/runner"
 	"cloudgraph/internal/telemetry"
 	"cloudgraph/internal/trace"
@@ -35,16 +36,47 @@ func ingestOnce(tb testing.TB, reg *telemetry.Registry, tr *trace.Tracer, cons [
 	return elapsed
 }
 
+// tenantOnce streams the fixture through a one-tenant realm manager —
+// the multi-tenant daemon's resting shape, with tenancy as the only
+// extra layer over a bare engine: the DRR scheduler admits every batch
+// (uncontended fast path) and the COGS meter accounts it.
+func tenantOnce(tb testing.TB) time.Duration {
+	tb.Helper()
+	const batch = 4096
+	m, err := realm.NewManager(realm.Config{Engine: core.Config{Window: time.Hour, Shards: 4}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer m.Close()
+	r := m.Default()
+	recs := fixK8s.records
+	start := time.Now()
+	for off := 0; off < len(recs); off += batch {
+		end := off + batch
+		if end > len(recs) {
+			end = len(recs)
+		}
+		r.IngestTraced(recs[off:end], nil)
+	}
+	elapsed := time.Since(start)
+	if r.Flush() == 0 {
+		tb.Fatal("no windows completed")
+	}
+	return elapsed
+}
+
 // TestTelemetryOverheadWithinBudget is the benchmark acceptance gate in
 // test form: the instrumented ingest hot path must stay within a few
 // percent of the uninstrumented one, for every attachable layer —
 // telemetry (registry attached), tracing (tracer attached, sampling off,
-// the production default) and the analysis plane (timeline plus all four
-// runners riding the consumer bus). Telemetry handles are preallocated
+// the production default), the analysis plane (timeline plus all four
+// runners riding the consumer bus) and tenancy (a one-tenant realm
+// manager in front of the engine). Telemetry handles are preallocated
 // and the per-batch cost is a handful of atomic adds; the disabled
 // tracing path is a nil/len check per batch; bus consumers run on their
 // own goroutines behind drop-oldest buffers, so publish never blocks the
-// merge path. The true overhead of each is well under the ISSUE's
+// merge path; an uncontended scheduler admits in one mutex round trip
+// per batch. The true overhead of each is well under the ISSUE's
 // budgets; the gate allows 10% so scheduler noise on loaded CI machines
 // doesn't flake, with best-of-5 trials per configuration and up to 3
 // attempts.
@@ -77,33 +109,37 @@ func TestTelemetryOverheadWithinBudget(t *testing.T) {
 			Fn:   func(epoch uint64, _ *graph.Graph) { st.Advance(epoch) },
 		}}
 	}
+	bestTenant := func() time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			if d := tenantOnce(t); d < min {
+				min = d
+			}
+		}
+		return min
+	}
 	const budget = 1.10
 	gates := []struct {
 		name string
-		reg  func() *telemetry.Registry
-		tr   func() *trace.Tracer
-		cons func() []core.ConsumerSpec
-		wm   func() *watermark.Tracker
+		on   func() time.Duration
 	}{
-		{"telemetry", func() *telemetry.Registry { return telemetry.NewRegistry() }, func() *trace.Tracer { return nil }, func() []core.ConsumerSpec { return nil }, func() *watermark.Tracker { return nil }},
-		{"tracing-disabled", func() *telemetry.Registry { return nil }, func() *trace.Tracer { return trace.New(trace.Options{}) }, func() []core.ConsumerSpec { return nil }, func() *watermark.Tracker { return nil }},
-		{"analysis-plane", func() *telemetry.Registry { return nil }, func() *trace.Tracer { return nil },
-			func() []core.ConsumerSpec { return runner.New(runner.Config{}).Consumers() }, func() *watermark.Tracker { return nil }},
-		{"watermarks", func() *telemetry.Registry { return nil }, func() *trace.Tracer { return nil },
-			nil, nil}, // filled below: tracker and consumer are built together
+		{"telemetry", func() time.Duration { return best(telemetry.NewRegistry(), nil, nil, nil) }},
+		{"tracing-disabled", func() time.Duration { return best(nil, trace.New(trace.Options{}), nil, nil) }},
+		{"analysis-plane", func() time.Duration {
+			return best(nil, nil, runner.New(runner.Config{}).Consumers(), nil)
+		}},
+		{"watermarks", func() time.Duration {
+			wm, cons := watermarkedEngine()
+			return best(nil, nil, cons, wm)
+		}},
+		{"tenancy", bestTenant},
 	}
 	for _, gate := range gates {
 		var ratio float64
 		ok := false
 		for attempt := 1; attempt <= 3 && !ok; attempt++ {
 			off := best(nil, nil, nil, nil)
-			var on time.Duration
-			if gate.cons == nil {
-				wm, cons := watermarkedEngine()
-				on = best(gate.reg(), gate.tr(), cons, wm)
-			} else {
-				on = best(gate.reg(), gate.tr(), gate.cons(), gate.wm())
-			}
+			on := gate.on()
 			ratio = float64(on) / float64(off)
 			t.Logf("%s attempt %d: off %v, on %v, ratio %.3f", gate.name, attempt, off, on, ratio)
 			ok = ratio <= budget
